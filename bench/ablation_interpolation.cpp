@@ -1,0 +1,70 @@
+// Ablation: the §3.3 design choice of *left-priority* nearest-neighbor
+// interpolation ("prioritizing the left pixel given that the webpage
+// consists mostly of text read from left to right"), against doing nothing,
+// vertical-first, and 4-neighbour averaging.
+//
+//   ./ablation_interpolation [--pages 12] [--width 360]
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "eval/quality.hpp"
+#include "image/column_codec.hpp"
+#include "image/interpolate.hpp"
+#include "image/raster.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+using namespace sonic;
+
+int main(int argc, char** argv) {
+  const int pages = bench::arg_int(argc, argv, "--pages", 12);
+  const int width = bench::arg_int(argc, argv, "--width", 360);
+
+  web::PkCorpus corpus;
+  web::LayoutParams layout;
+  layout.width = width;
+  layout.max_height = 1500;
+
+  const image::InterpolationMode modes[] = {
+      image::InterpolationMode::kNone, image::InterpolationMode::kLeft,
+      image::InterpolationMode::kUp, image::InterpolationMode::kAverage};
+
+  std::printf("Interpolation ablation (%d pages, width %d): mean PSNR dB / text rating\n\n", pages,
+              width);
+  std::printf("%-8s", "loss");
+  for (const auto mode : modes) std::printf(" %16s", image::interpolation_mode_name(mode));
+  std::printf("\n");
+
+  for (double loss : {0.05, 0.10, 0.20, 0.50}) {
+    std::printf("%-7.0f%%", loss * 100);
+    for (const auto mode : modes) {
+      double psnr_acc = 0, text_acc = 0;
+      for (int p = 0; p < pages; ++p) {
+        const auto page =
+            web::render_html(corpus.html(corpus.pages()[static_cast<std::size_t>(p * 7)], 0), layout);
+        image::ColumnCodecParams params;
+        params.quality = 50;
+        auto segments = image::column_encode(page.image, params);
+        util::Rng rng(static_cast<std::uint64_t>(p) * 31 + static_cast<std::uint64_t>(loss * 100));
+        std::vector<image::ColumnSegment> kept;
+        for (auto& s : segments) {
+          if (!rng.bernoulli(loss)) kept.push_back(std::move(s));
+        }
+        auto decoded = image::column_decode(page.image.width(), page.image.height(), kept, params);
+        image::interpolate_missing(decoded.image, decoded.mask, mode);
+        psnr_acc += image::psnr(page.image, decoded.image);
+        text_acc += eval::text_rating(page.image, decoded.image);
+      }
+      std::printf("   %6.1f / %4.1f", psnr_acc / pages, text_acc / pages);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nreading: 'left' dominates 'up' because column-segment losses blank vertical\n");
+  std::printf("runs — the informative neighbours are horizontal. 'average' ties or slightly\n");
+  std::printf("beats 'left' on PSNR but costs 4 reads/pixel on the low-end client; the paper\n");
+  std::printf("picks left-priority as the cheap option with the right bias for text.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the benchmark harness binaries: tiny argv parsing and
+// order statistics for the boxplot-style tables the paper's figures use.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sonic::bench {
+
+// --flag value / --flag parsing; returns default when absent.
+inline double arg_double(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline int arg_int(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+struct BoxStats {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0, mean = 0;
+};
+
+inline BoxStats box_stats(std::vector<double> v) {
+  BoxStats s;
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  auto q = [&](double p) {
+    const double idx = p * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1 - frac) + v[hi] * frac;
+  };
+  s.min = v.front();
+  s.p25 = q(0.25);
+  s.median = q(0.5);
+  s.p75 = q(0.75);
+  s.max = v.back();
+  for (double x : v) s.mean += x;
+  s.mean /= static_cast<double>(v.size());
+  return s;
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+}  // namespace sonic::bench

@@ -1,0 +1,55 @@
+// BER/FER waterfall: frame error rate vs audio SNR for every transmission
+// profile — the classic link-budget curve behind the profile ladder and the
+// Fig. 4(a)/RSSI cliffs. Shows where each constellation/FEC rung falls off.
+//
+//   ./ber_waterfall [--trials 4] [--frames 8]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "util/rng.hpp"
+
+using namespace sonic;
+
+int main(int argc, char** argv) {
+  const int trials = bench::arg_int(argc, argv, "--trials", 4);
+  const int frames = bench::arg_int(argc, argv, "--frames", 8);
+
+  std::printf("Frame error rate (%%) vs audio SNR per profile (%d trials x %d frames)\n\n",
+              trials, frames);
+  std::printf("%-12s", "profile");
+  for (int snr = 24; snr >= 4; snr -= 2) std::printf(" %5d", snr);
+  std::printf("\n");
+
+  for (const auto& profile : modem::all_profiles()) {
+    modem::OfdmModem modem(profile);
+    std::printf("%-12s", profile.name.c_str());
+    for (int snr = 24; snr >= 4; snr -= 2) {
+      double loss = 0;
+      for (int t = 0; t < trials; ++t) {
+        util::Rng rng(static_cast<std::uint64_t>(snr) * 131 + static_cast<std::uint64_t>(t));
+        std::vector<util::Bytes> payload;
+        for (int i = 0; i < frames; ++i) {
+          util::Bytes f(100);
+          for (auto& b : f) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+          payload.push_back(std::move(f));
+        }
+        auto audio = modem.modulate(payload);
+        double power = 0;
+        for (float s : audio) power += static_cast<double>(s) * s;
+        power /= static_cast<double>(audio.size());
+        const double sigma = std::sqrt(power / std::pow(10.0, snr / 10.0));
+        for (auto& s : audio) s += static_cast<float>(rng.normal(0.0, sigma));
+        const auto burst = modem.receive_one(audio);
+        loss += 1.0 - static_cast<double>(burst ? burst->frames_ok() : 0) / frames;
+      }
+      std::printf(" %5.0f", 100.0 * loss / trials);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nreading: each rung of the ladder buys ~4-6 dB; robust-2k survives where\n");
+  std::printf("sonic-10k dies, at a quarter of the rate — the §3 trade SONIC exposes as\n");
+  std::printf("transmission profiles.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 4(b): CDF of rendered-webpage image sizes (WebP-class codec) under
+// variable quality Q and pixel-height cap PH.
+//
+// Paper setup: 100 Pakistani webpages (25 landing + 75 internal), rendered
+// 1080 px wide, encoded at Q in {10, 50, 90} with PH in {10k, none}.
+// Expected shape: at Q10 most pages < 200 KB where Q90 needs ~700 KB;
+// cropping at PH 10k saves ~100 KB for the longest pages; CDF tails reach
+// ~2x the 90th percentile.
+//
+//   ./fig4b_size_cdf [--pages 100] [--width 1080] [--epoch 0] [--lossless]
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "image/dct_codec.hpp"
+#include "image/lossless.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+using namespace sonic;
+
+int main(int argc, char** argv) {
+  const int pages = bench::arg_int(argc, argv, "--pages", 100);
+  const int width = bench::arg_int(argc, argv, "--width", 1080);
+  const int epoch = bench::arg_int(argc, argv, "--epoch", 0);
+  const bool lossless = bench::arg_flag(argc, argv, "--lossless");
+
+  web::PkCorpus corpus;
+  web::LayoutParams layout;
+  layout.width = width;
+  layout.max_height = 0;  // render uncapped once; PH variants crop after
+  const int ph_cap = 10000 * width / 1080;  // PH scales with render width
+
+  struct Config {
+    const char* label;
+    int quality;
+    bool capped;
+    std::vector<double> kb;
+  };
+  std::vector<Config> configs = {
+      {"Q:10,PH:10k", 10, true, {}},
+      {"Q:10,PH:None", 10, false, {}},
+      {"Q:50,PH:10k", 50, true, {}},
+      {"Q:90,PH:10k", 90, true, {}},
+  };
+
+  std::printf("Figure 4(b): CDF of rendered webpage image sizes\n");
+  std::printf("corpus: %d pages (%d sites x landing+3), width %d, epoch %d\n\n",
+              pages, corpus.num_sites(), width, epoch);
+
+  const int n = std::min<int>(pages, static_cast<int>(corpus.pages().size()));
+  std::vector<double> lossless_kb;
+  for (int i = 0; i < n; ++i) {
+    const auto& ref = corpus.pages()[static_cast<std::size_t>(i)];
+    const auto page = web::render_html(corpus.html(ref, epoch), layout);
+    const auto capped = page.image.cropped_to_height(ph_cap);
+    for (auto& cfg : configs) {
+      const auto& img = cfg.capped ? capped : page.image;
+      cfg.kb.push_back(static_cast<double>(image::swebp_encode(img, cfg.quality).size()) / 1024.0);
+    }
+    if (lossless) {
+      lossless_kb.push_back(static_cast<double>(image::lossless_encode(capped).size()) / 1024.0);
+    }
+  }
+
+  std::printf("%-14s", "CDF");
+  for (const auto& cfg : configs) std::printf(" %13s", cfg.label);
+  if (lossless) std::printf(" %13s", "lossless,10k");
+  std::printf("\n");
+  for (int pct = 10; pct <= 100; pct += 10) {
+    std::printf("%-14.2f", pct / 100.0);
+    for (const auto& cfg : configs) {
+      std::printf(" %10.0f KB", bench::percentile(cfg.kb, pct / 100.0));
+    }
+    if (lossless) std::printf(" %10.0f KB", bench::percentile(lossless_kb, pct / 100.0));
+    std::printf("\n");
+  }
+
+  const double q10_med = bench::percentile(configs[0].kb, 0.5);
+  const double q90_med = bench::percentile(configs[3].kb, 0.5);
+  const double q10_p90 = bench::percentile(configs[0].kb, 0.9);
+  const double q10_max = bench::percentile(configs[0].kb, 1.0);
+  double crop_savings_p75 = 0;
+  {
+    std::vector<double> savings;
+    for (std::size_t i = 0; i < configs[0].kb.size(); ++i) {
+      savings.push_back(configs[1].kb[i] - configs[0].kb[i]);
+    }
+    crop_savings_p75 = bench::percentile(savings, 0.75);
+  }
+
+  std::printf("\nchecks against the paper:\n");
+  std::printf("  Q10 median %.0f KB (paper: most pages < 200 KB)%s\n", q10_med,
+              q10_med < 220 ? "  [ok]" : "  [high]");
+  std::printf("  Q90/Q10 median ratio %.1fx (paper: ~700 KB vs < 200 KB, ~3.5x)\n",
+              q90_med / q10_med);
+  std::printf("  PH10k crop saves <= %.0f KB for 75%% of pages (paper: ~100 KB)\n",
+              crop_savings_p75);
+  std::printf("  tail: max %.0f KB = %.1fx the p90 %.0f KB (paper: ~2x)\n", q10_max,
+              q10_max / q10_p90, q10_p90);
+  std::printf("  a %.0f KB tail page takes %.1f min at 10 kbps (paper: up to 6-7 min)\n", q10_max,
+              q10_max * 1024.0 * 8.0 / 10000.0 / 60.0);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: FFT, Viterbi,
+// Reed-Solomon, the image codecs and the end-to-end modem. These bound the
+// CPU cost of running a SONIC client on low-end hardware.
+#include <benchmark/benchmark.h>
+
+#include "dsp/fft.hpp"
+#include "fec/convolutional.hpp"
+#include "fec/reed_solomon.hpp"
+#include "image/column_codec.hpp"
+#include "image/dct_codec.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+using namespace sonic;
+
+namespace {
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t n) {
+  util::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return out;
+}
+
+void BM_Fft1024(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<dsp::cplx> data(1024);
+  for (auto& x : data) x = dsp::cplx(static_cast<float>(rng.normal()), static_cast<float>(rng.normal()));
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_ViterbiV29Decode100B(benchmark::State& state) {
+  fec::ConvolutionalCodec codec({fec::ConvCode::kV29, fec::PunctureRate::kRate1_2});
+  util::Rng rng(2);
+  const auto payload = random_bytes(rng, 100);
+  const auto coded = codec.encode(payload);
+  std::vector<float> soft(codec.encoded_bits(100));
+  util::BitReader br(coded);
+  for (auto& s : soft) s = static_cast<float>(br.bit());
+  for (auto _ : state) {
+    auto out = codec.decode_soft(soft, 100);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_ViterbiV29Decode100B);
+
+void BM_ReedSolomonDecode(benchmark::State& state) {
+  fec::ReedSolomon rs(32);
+  util::Rng rng(3);
+  const auto payload = random_bytes(rng, 223);
+  const auto clean = rs.encode(payload);
+  for (auto _ : state) {
+    auto block = clean;
+    block[10] ^= 0x55;
+    block[100] ^= 0xaa;  // 2 errors: typical work
+    auto corrected = rs.decode(block);
+    benchmark::DoNotOptimize(corrected);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 223);
+}
+BENCHMARK(BM_ReedSolomonDecode);
+
+void BM_SwebpEncodeQ10(benchmark::State& state) {
+  web::PkCorpus corpus;
+  const auto page = web::render_html(corpus.html(corpus.pages()[0], 0),
+                                     web::LayoutParams{360, 2000, 12, 2});
+  for (auto _ : state) {
+    auto coded = image::swebp_encode(page.image, 10);
+    benchmark::DoNotOptimize(coded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * page.image.width() *
+                          page.image.height() * 3);
+}
+BENCHMARK(BM_SwebpEncodeQ10);
+
+void BM_ColumnCodecEncode(benchmark::State& state) {
+  web::PkCorpus corpus;
+  const auto page = web::render_html(corpus.html(corpus.pages()[0], 0),
+                                     web::LayoutParams{360, 2000, 12, 2});
+  for (auto _ : state) {
+    auto segments = image::column_encode(page.image, {10, 94});
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * page.image.width() *
+                          page.image.height() * 3);
+}
+BENCHMARK(BM_ColumnCodecEncode);
+
+void BM_OfdmModulate16Frames(benchmark::State& state) {
+  modem::OfdmModem modem(modem::profile_sonic10k());
+  util::Rng rng(4);
+  std::vector<util::Bytes> frames;
+  for (int i = 0; i < 16; ++i) frames.push_back(random_bytes(rng, 100));
+  for (auto _ : state) {
+    auto audio = modem.modulate(frames);
+    benchmark::DoNotOptimize(audio);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1600);
+}
+BENCHMARK(BM_OfdmModulate16Frames);
+
+void BM_OfdmReceive16Frames(benchmark::State& state) {
+  modem::OfdmModem modem(modem::profile_sonic10k());
+  util::Rng rng(5);
+  std::vector<util::Bytes> frames;
+  for (int i = 0; i < 16; ++i) frames.push_back(random_bytes(rng, 100));
+  const auto audio = modem.modulate(frames);
+  for (auto _ : state) {
+    auto burst = modem.receive_one(audio);
+    benchmark::DoNotOptimize(burst);
+  }
+  // Real-time factor: processed audio seconds per wall second matters for
+  // the phone client.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(audio.size()));
+}
+BENCHMARK(BM_OfdmReceive16Frames);
+
+void BM_RenderCorpusPage(benchmark::State& state) {
+  web::PkCorpus corpus;
+  const std::string html = corpus.html(corpus.pages()[0], 0);
+  for (auto _ : state) {
+    auto page = web::render_html(html, web::LayoutParams{1080, 10000, 24, 2});
+    benchmark::DoNotOptimize(page);
+  }
+}
+BENCHMARK(BM_RenderCorpusPage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// §4 "Variable RSSI": frame loss rate across receiver signal strength,
+// client in cable mode (no acoustic loss), sweeping RSSI in 5 dB steps as
+// with the paper's TR508 transmitter + Real FM Radio app.
+//
+// Paper: no losses from -65 to -85 dB; fluctuating 2-15% loss between -85
+// and -90 dB; nothing received below -90 dB.
+//
+//   ./rssi_loss_sweep [--trials 10] [--frames 10] [--seed 3]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fm/link.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "util/rng.hpp"
+
+using namespace sonic;
+
+int main(int argc, char** argv) {
+  const int trials = bench::arg_int(argc, argv, "--trials", 10);
+  const int frames = bench::arg_int(argc, argv, "--frames", 10);
+  const std::uint64_t seed = static_cast<std::uint64_t>(bench::arg_int(argc, argv, "--seed", 3));
+
+  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  util::Rng rng(seed);
+  std::vector<util::Bytes> payload;
+  for (int i = 0; i < frames; ++i) {
+    util::Bytes f(100);
+    for (auto& b : f) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    payload.push_back(std::move(f));
+  }
+  const auto audio = ofdm.modulate(payload);
+
+  std::printf("Variable RSSI experiment (§4): frame loss vs received signal strength\n");
+  std::printf("client in cable mode; FM chain with 75 kHz deviation; %d trials x %d frames\n\n",
+              trials, frames);
+  std::printf("%-10s %8s %8s %8s   paper\n", "RSSI(dB)", "min%", "median%", "max%");
+
+  struct Level {
+    double rssi;
+    const char* paper;
+  };
+  const Level levels[] = {
+      {-65, "no losses"}, {-70, "no losses"},  {-75, "no losses"},
+      {-80, "no losses"}, {-85, "no losses"},  {-88, "2-15% fluctuating"},
+      {-90, "2-15% fluctuating / edge"},       {-92, "no frames below -90"},
+      {-95, "no frames"},
+  };
+
+  for (const Level& level : levels) {
+    std::vector<double> losses;
+    for (int t = 0; t < trials; ++t) {
+      fm::FmLinkConfig cfg;
+      cfg.rf.rssi_db = level.rssi;
+      cfg.acoustic.distance_m = 0.0;  // cable mode, per the paper's setup
+      cfg.seed = seed * 100 + static_cast<std::uint64_t>(t);
+      fm::FmLink link(cfg);
+      const auto rx_audio = link.transmit(audio);
+      const auto burst = ofdm.receive_one(rx_audio);
+      const std::size_t ok = burst ? burst->frames_ok() : 0;
+      losses.push_back(100.0 * (1.0 - static_cast<double>(ok) / frames));
+    }
+    const auto s = bench::box_stats(losses);
+    std::printf("%-10.0f %8.1f %8.1f %8.1f   %s\n", level.rssi, s.min, s.median, s.max,
+                level.paper);
+  }
+  std::printf("\nnote: the cliff is the FM threshold effect emerging from the demodulator;\n");
+  std::printf("the receiver noise floor is calibrated so it lands at the paper's -85/-90 dB\n");
+  std::printf("band (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// sonic_rx — decode a WAV recording of a SONIC broadcast back into webpage
+// images (PPM) and a page report. Counterpart of sonic_tx.
+//
+//   ./sonic_rx in.wav [out_prefix] [--profile sonic-10k|...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "image/raster.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "sonic/framing.hpp"
+#include "util/wav.hpp"
+
+using namespace sonic;
+
+namespace {
+
+const char* arg_str(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+modem::OfdmProfile profile_by_name(const std::string& name) {
+  for (const auto& p : modem::all_profiles()) {
+    if (p.name == name) return p;
+  }
+  return modem::profile_sonic10k();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: sonic_rx in.wav [out_prefix] [--profile p]\n");
+    return 1;
+  }
+  const std::string in_path = argv[1];
+  const std::string prefix = argc > 2 && argv[2][0] != '-' ? argv[2] : "sonic_rx";
+  const auto profile = profile_by_name(arg_str(argc, argv, "--profile", "sonic-10k"));
+
+  const auto wav = util::read_wav(in_path);
+  std::printf("sonic_rx: %s (%.1f s at %d Hz)\n", in_path.c_str(),
+              static_cast<double>(wav.samples.size()) / wav.sample_rate_hz, wav.sample_rate_hz);
+  if (wav.sample_rate_hz != static_cast<int>(profile.sample_rate)) {
+    std::fprintf(stderr, "warning: sample rate %d != profile's %.0f; decode may fail\n",
+                 wav.sample_rate_hz, profile.sample_rate);
+  }
+
+  modem::OfdmModem modem(profile);
+  core::PageAssembler assembler;
+  std::size_t bursts = 0, frames_ok = 0, frames_total = 0;
+  for (const auto& burst : modem.receive_all(wav.samples)) {
+    ++bursts;
+    frames_total += burst.frames.size();
+    frames_ok += burst.frames_ok();
+    for (const auto& frame : burst.frames) {
+      if (frame) assembler.push(*frame);
+    }
+  }
+  std::printf("  %zu bursts, %zu/%zu frames decoded (%.1f%% loss)\n", bursts, frames_ok,
+              frames_total,
+              frames_total ? 100.0 * (1.0 - static_cast<double>(frames_ok) / frames_total) : 0.0);
+
+  int pages = 0;
+  for (std::uint32_t page_id : assembler.known_pages()) {
+    const auto page = assembler.assemble(page_id, image::InterpolationMode::kLeft);
+    if (!page) {
+      std::printf("  page %u: metadata missing, skipped\n", page_id);
+      continue;
+    }
+    const std::string out = prefix + "_" + std::to_string(page_id) + ".ppm";
+    write_ppm(page->image, out);
+    std::printf("  page %u: %s %dx%d coverage %.1f%% links %zu -> %s\n", page_id,
+                page->metadata.url.c_str(), page->image.width(), page->image.height(),
+                100.0 * page->coverage, page->metadata.click_map.size(), out.c_str());
+    ++pages;
+  }
+  return pages > 0 ? 0 : 2;
+}

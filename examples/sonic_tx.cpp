@@ -1,0 +1,100 @@
+// sonic_tx — encode a webpage from the corpus (or a local HTML file) into a
+// broadcast-ready WAV file. Play it through any FM transmitter's audio
+// input (or a speaker next to a phone) and decode with sonic_rx.
+//
+//   ./sonic_tx out.wav [--url <corpus-url>] [--html <file>] [--width 360]
+//              [--quality 10] [--profile sonic-10k|audible-7k|robust-2k|cable-64k]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "sonic/framing.hpp"
+#include "util/wav.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+using namespace sonic;
+
+namespace {
+
+const char* arg_str(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+modem::OfdmProfile profile_by_name(const std::string& name) {
+  for (const auto& p : modem::all_profiles()) {
+    if (p.name == name) return p;
+  }
+  std::fprintf(stderr, "unknown profile '%s', using sonic-10k\n", name.c_str());
+  return modem::profile_sonic10k();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: sonic_tx out.wav [--url u] [--html f] [--width w] [--quality q] [--profile p]\n");
+    return 1;
+  }
+  const std::string out_path = argv[1];
+  const int width = bench::arg_int(argc, argv, "--width", 360);
+  const int quality = bench::arg_int(argc, argv, "--quality", 10);
+  const auto profile = profile_by_name(arg_str(argc, argv, "--profile", "sonic-10k"));
+
+  // Content: a local HTML file, or a corpus page (default: first landing).
+  web::PkCorpus corpus;
+  std::string html;
+  std::string url;
+  if (const char* file = arg_str(argc, argv, "--html", nullptr)) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    html = ss.str();
+    url = file;
+  } else {
+    url = arg_str(argc, argv, "--url", corpus.pages()[0].url.c_str());
+    const web::PageRef* ref = corpus.find(url);
+    if (!ref) {
+      std::fprintf(stderr, "unknown corpus url %s; available pages:\n", url.c_str());
+      for (std::size_t i = 0; i < 8; ++i) std::fprintf(stderr, "  %s\n", corpus.pages()[i].url.c_str());
+      return 1;
+    }
+    html = corpus.html(*ref, 0);
+  }
+
+  web::LayoutParams layout;
+  layout.width = width;
+  layout.max_height = 10000 * width / 1080;
+  const auto page = web::render_html(html, layout);
+  const auto bundle = core::make_bundle(1, url, page, {quality, 94});
+
+  modem::OfdmModem modem(profile);
+  std::vector<float> audio;
+  constexpr std::size_t kPerBurst = 16;
+  for (std::size_t off = 0; off < bundle.frames.size(); off += kPerBurst) {
+    std::vector<util::Bytes> burst(
+        bundle.frames.begin() + static_cast<std::ptrdiff_t>(off),
+        bundle.frames.begin() + static_cast<std::ptrdiff_t>(std::min(off + kPerBurst, bundle.frames.size())));
+    const auto b = modem.modulate(burst);
+    audio.insert(audio.end(), b.begin(), b.end());
+  }
+  util::write_wav(out_path, audio, static_cast<int>(profile.sample_rate));
+
+  std::printf("sonic_tx: %s\n", url.c_str());
+  std::printf("  rendered %dx%d, %zu frames (%zu bytes), profile %s\n", page.image.width(),
+              page.image.height(), bundle.frames.size(), bundle.total_bytes(), profile.name.c_str());
+  std::printf("  wrote %s: %.1f s of audio at %.0f Hz\n", out_path.c_str(),
+              static_cast<double>(audio.size()) / profile.sample_rate, profile.sample_rate);
+  return 0;
+}

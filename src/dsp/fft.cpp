@@ -1,0 +1,66 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace sonic::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void fft_impl(std::span<cplx> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_power_of_two(n)) throw std::invalid_argument("fft size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * sonic::util::kPi / static_cast<double>(len);
+    const cplx wlen(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0f, 0.0f);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cplx u = a[i + j];
+        const cplx v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::span<cplx> data) { fft_impl(data, false); }
+void ifft(std::span<cplx> data) { fft_impl(data, true); }
+
+std::vector<cplx> dft_naive(std::span<const cplx> data) {
+  const std::size_t n = data.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * sonic::util::kPi * static_cast<double>(k) * static_cast<double>(t) / static_cast<double>(n);
+      acc += std::complex<double>(data[t].real(), data[t].imag()) * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = cplx(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+}  // namespace sonic::dsp

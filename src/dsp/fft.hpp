@@ -1,0 +1,24 @@
+// Radix-2 iterative FFT. The OFDM modem uses power-of-two transforms
+// (1024-point at 44.1 kHz), so a dependency-free radix-2 kernel suffices.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sonic::dsp {
+
+using cplx = std::complex<float>;
+
+// In-place forward FFT; data.size() must be a power of two.
+void fft(std::span<cplx> data);
+
+// In-place inverse FFT, including the 1/N normalization.
+void ifft(std::span<cplx> data);
+
+// Naive O(N^2) DFT, used by tests as the ground truth.
+std::vector<cplx> dft_naive(std::span<const cplx> data);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace sonic::dsp

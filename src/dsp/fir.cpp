@@ -1,0 +1,101 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace sonic::dsp {
+namespace {
+
+double sinc(double x) {
+  if (std::fabs(x) < 1e-12) return 1.0;
+  return std::sin(sonic::util::kPi * x) / (sonic::util::kPi * x);
+}
+
+}  // namespace
+
+std::vector<float> design_lowpass(double cutoff_hz, double sample_rate_hz, std::size_t taps,
+                                  WindowType window) {
+  if (taps % 2 == 0) ++taps;
+  if (cutoff_hz <= 0 || cutoff_hz >= sample_rate_hz / 2) throw std::invalid_argument("cutoff out of range");
+  const double fc = cutoff_hz / sample_rate_hz;  // normalized (cycles/sample)
+  const auto win = make_window(window, taps);
+  std::vector<float> h(taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double v = 2.0 * fc * sinc(2.0 * fc * (static_cast<double>(i) - mid)) * win[i];
+    h[i] = static_cast<float>(v);
+    sum += v;
+  }
+  // Normalize DC gain to exactly 1.
+  for (auto& t : h) t = static_cast<float>(t / sum);
+  return h;
+}
+
+std::vector<float> design_bandpass(double lo_hz, double hi_hz, double sample_rate_hz,
+                                   std::size_t taps, WindowType window) {
+  if (taps % 2 == 0) ++taps;
+  if (!(0 < lo_hz && lo_hz < hi_hz && hi_hz < sample_rate_hz / 2))
+    throw std::invalid_argument("band out of range");
+  const double f1 = lo_hz / sample_rate_hz;
+  const double f2 = hi_hz / sample_rate_hz;
+  const auto win = make_window(window, taps);
+  std::vector<float> h(taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double v = (2.0 * f2 * sinc(2.0 * f2 * t) - 2.0 * f1 * sinc(2.0 * f1 * t)) * win[i];
+    h[i] = static_cast<float>(v);
+  }
+  // Normalize gain to 1 at band center.
+  const double fm = (f1 + f2) / 2.0;
+  std::complex<double> resp(0.0, 0.0);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double ang = -sonic::util::kTwoPi * fm * static_cast<double>(i);
+    resp += static_cast<double>(h[i]) * std::complex<double>(std::cos(ang), std::sin(ang));
+  }
+  const double gain = std::abs(resp);
+  for (auto& t : h) t = static_cast<float>(t / gain);
+  return h;
+}
+
+FirFilter::FirFilter(std::vector<float> taps) : taps_(std::move(taps)), history_(taps_.size(), 0.0f) {
+  if (taps_.empty()) throw std::invalid_argument("empty taps");
+}
+
+void FirFilter::reset() {
+  std::fill(history_.begin(), history_.end(), 0.0f);
+  pos_ = 0;
+}
+
+float FirFilter::process(float x) {
+  history_[pos_] = x;
+  float acc = 0.0f;
+  std::size_t idx = pos_;
+  for (float tap : taps_) {
+    acc += tap * history_[idx];
+    idx = idx == 0 ? history_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % history_.size();
+  return acc;
+}
+
+std::vector<float> FirFilter::process(std::span<const float> x) {
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+double FirFilter::magnitude_at(double f_hz, double sample_rate_hz) const {
+  std::complex<double> resp(0.0, 0.0);
+  const double w = sonic::util::kTwoPi * f_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    resp += static_cast<double>(taps_[i]) * std::complex<double>(std::cos(w * static_cast<double>(i)), -std::sin(w * static_cast<double>(i)));
+  }
+  return std::abs(resp);
+}
+
+}  // namespace sonic::dsp

@@ -1,0 +1,43 @@
+// FIR filtering and windowed-sinc design. Used by the FM layer for the
+// 15 kHz program low-pass and by the acoustic channel's band-tilt model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace sonic::dsp {
+
+// Linear-phase low-pass design: `cutoff_hz` at `sample_rate_hz`, odd-length
+// `taps` (even lengths are bumped by one), windowed by `window`.
+std::vector<float> design_lowpass(double cutoff_hz, double sample_rate_hz, std::size_t taps,
+                                  WindowType window = WindowType::kHamming);
+
+// Band-pass between lo and hi.
+std::vector<float> design_bandpass(double lo_hz, double hi_hz, double sample_rate_hz,
+                                   std::size_t taps, WindowType window = WindowType::kHamming);
+
+// Stateful FIR for streaming use.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<float> taps);
+
+  float process(float x);
+  std::vector<float> process(std::span<const float> x);
+  void reset();
+
+  // Group delay in samples ((taps-1)/2 for the linear-phase designs above).
+  std::size_t delay() const { return (taps_.size() - 1) / 2; }
+  const std::vector<float>& taps() const { return taps_; }
+
+  // Filter magnitude response at frequency f (for tests).
+  double magnitude_at(double f_hz, double sample_rate_hz) const;
+
+ private:
+  std::vector<float> taps_;
+  std::vector<float> history_;  // circular
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sonic::dsp

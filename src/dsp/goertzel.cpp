@@ -1,0 +1,24 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace sonic::dsp {
+
+double goertzel_power(std::span<const float> samples, double f_hz, double sample_rate_hz) {
+  if (samples.empty()) return 0.0;
+  const double w = sonic::util::kTwoPi * f_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0, s1 = 0, s2 = 0;
+  for (float x : samples) {
+    s0 = static_cast<double>(x) + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  const double n = static_cast<double>(samples.size());
+  return power / (n * n / 4.0);  // normalized so a unit sine reports ~1
+}
+
+}  // namespace sonic::dsp

@@ -1,0 +1,12 @@
+// Goertzel single-bin DFT — the FSK demodulator only needs the energy at a
+// handful of tone frequencies, for which Goertzel beats a full FFT.
+#pragma once
+
+#include <span>
+
+namespace sonic::dsp {
+
+// Power of `samples` at frequency f_hz (normalized by window length).
+double goertzel_power(std::span<const float> samples, double f_hz, double sample_rate_hz);
+
+}  // namespace sonic::dsp

@@ -1,0 +1,58 @@
+#include "dsp/resampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace sonic::dsp {
+namespace {
+
+double sinc(double x) {
+  if (std::fabs(x) < 1e-12) return 1.0;
+  return std::sin(sonic::util::kPi * x) / (sonic::util::kPi * x);
+}
+
+// Hann-windowed sinc kernel. The half-width covers 4 zero-crossings of the
+// (possibly cutoff-stretched) sinc so downsampling keeps its anti-alias
+// stopband and its passband gain.
+double kernel(double x, double cutoff, double half_width) {
+  if (std::fabs(x) >= half_width) return 0.0;
+  const double window = 0.5 + 0.5 * std::cos(sonic::util::kPi * x / half_width);
+  return cutoff * sinc(cutoff * x) * window;
+}
+
+}  // namespace
+
+Resampler::Resampler(double ratio) : ratio_(ratio) {
+  if (ratio <= 0) throw std::invalid_argument("resample ratio must be positive");
+}
+
+std::vector<float> Resampler::process(std::span<const float> input) const {
+  if (input.empty()) return {};
+  const std::size_t out_len = static_cast<std::size_t>(std::floor(static_cast<double>(input.size()) * ratio_));
+  std::vector<float> out(out_len);
+  // When downsampling, lower the kernel cutoff to avoid aliasing and widen
+  // the support so the stretched sinc still spans 4 zero-crossings.
+  const double cutoff = ratio_ >= 1.0 ? 1.0 : ratio_;
+  const double half_width = 4.0 / cutoff;
+  const long reach = static_cast<long>(std::ceil(half_width));
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double src = static_cast<double>(i) / ratio_;
+    const long center = static_cast<long>(std::floor(src));
+    double acc = 0.0;
+    for (long k = center - reach; k <= center + reach; ++k) {
+      if (k < 0 || k >= static_cast<long>(input.size())) continue;
+      acc += static_cast<double>(input[static_cast<std::size_t>(k)]) *
+             kernel(src - static_cast<double>(k), cutoff, half_width);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<float> resample(std::span<const float> input, double in_rate, double out_rate) {
+  return Resampler(out_rate / in_rate).process(input);
+}
+
+}  // namespace sonic::dsp

@@ -1,0 +1,31 @@
+// Arbitrary-ratio resampling. The FM simulator runs its IQ path at a higher
+// rate than the 44.1 kHz audio path; the acoustic channel also uses a small
+// resampling step to model sample-clock offset between transmitter and
+// receiver (speaker vs. microphone ADC clocks never match exactly).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sonic::dsp {
+
+// Windowed-sinc interpolation resampler (8-tap kernel per output sample).
+// Suitable both for large ratio changes (44.1k -> 192k) and for tiny clock
+// skews (ratio 1 + epsilon).
+class Resampler {
+ public:
+  // ratio = output_rate / input_rate.
+  explicit Resampler(double ratio);
+
+  std::vector<float> process(std::span<const float> input) const;
+
+  double ratio() const { return ratio_; }
+
+ private:
+  double ratio_;
+};
+
+// Convenience wrappers.
+std::vector<float> resample(std::span<const float> input, double in_rate, double out_rate);
+
+}  // namespace sonic::dsp

@@ -1,0 +1,36 @@
+// Window functions for spectral shaping and FIR design.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace sonic::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+inline std::vector<float> make_window(WindowType type, std::size_t n) {
+  std::vector<float> w(n, 1.0f);
+  if (n < 2) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = sonic::util::kTwoPi * static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRect:
+        break;
+      case WindowType::kHann:
+        w[i] = static_cast<float>(0.5 - 0.5 * std::cos(x));
+        break;
+      case WindowType::kHamming:
+        w[i] = static_cast<float>(0.54 - 0.46 * std::cos(x));
+        break;
+      case WindowType::kBlackman:
+        w[i] = static_cast<float>(0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2 * x));
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace sonic::dsp

@@ -1,0 +1,139 @@
+#include "eval/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sonic::eval {
+namespace {
+
+std::vector<double> luma_plane(const image::Raster& img) {
+  std::vector<double> out(static_cast<std::size_t>(img.width()) * img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const image::Rgb& p = img.at(x, y);
+      out[static_cast<std::size_t>(y) * img.width() + x] = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+    }
+  }
+  return out;
+}
+
+void check_sizes(const image::Raster& a, const image::Raster& b) {
+  if (a.width() != b.width() || a.height() != b.height())
+    throw std::invalid_argument("image size mismatch");
+}
+
+std::vector<double> sobel_magnitude(const std::vector<double>& luma, int w, int h) {
+  std::vector<double> mag(luma.size(), 0.0);
+  auto at = [&](int x, int y) {
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return luma[static_cast<std::size_t>(y) * w + x];
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double gx = -at(x - 1, y - 1) - 2 * at(x - 1, y) - at(x - 1, y + 1) +
+                        at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1);
+      const double gy = -at(x - 1, y - 1) - 2 * at(x, y - 1) - at(x + 1, y - 1) +
+                        at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1);
+      mag[static_cast<std::size_t>(y) * w + x] = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return mag;
+}
+
+}  // namespace
+
+double ssim(const image::Raster& reference, const image::Raster& test) {
+  check_sizes(reference, test);
+  const int w = reference.width();
+  const int h = reference.height();
+  const auto ra = luma_plane(reference);
+  const auto rb = luma_plane(test);
+
+  constexpr double kC1 = 6.5025;    // (0.01 * 255)^2
+  constexpr double kC2 = 58.5225;   // (0.03 * 255)^2
+  constexpr int kWin = 8;
+
+  double total = 0.0;
+  int windows = 0;
+  for (int wy = 0; wy + kWin <= h; wy += kWin) {
+    for (int wx = 0; wx + kWin <= w; wx += kWin) {
+      double ma = 0, mb = 0;
+      for (int y = 0; y < kWin; ++y) {
+        for (int x = 0; x < kWin; ++x) {
+          ma += ra[static_cast<std::size_t>(wy + y) * w + wx + x];
+          mb += rb[static_cast<std::size_t>(wy + y) * w + wx + x];
+        }
+      }
+      const double n = kWin * kWin;
+      ma /= n;
+      mb /= n;
+      double va = 0, vb = 0, cov = 0;
+      for (int y = 0; y < kWin; ++y) {
+        for (int x = 0; x < kWin; ++x) {
+          const double da = ra[static_cast<std::size_t>(wy + y) * w + wx + x] - ma;
+          const double db = rb[static_cast<std::size_t>(wy + y) * w + wx + x] - mb;
+          va += da * da;
+          vb += db * db;
+          cov += da * db;
+        }
+      }
+      va /= n - 1;
+      vb /= n - 1;
+      cov /= n - 1;
+      const double s = ((2 * ma * mb + kC1) * (2 * cov + kC2)) /
+                       ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+      total += s;
+      ++windows;
+    }
+  }
+  if (windows == 0) return 1.0;
+  return std::clamp(total / windows, 0.0, 1.0);
+}
+
+double edge_coherence(const image::Raster& reference, const image::Raster& test) {
+  check_sizes(reference, test);
+  const int w = reference.width();
+  const int h = reference.height();
+  const auto ga = sobel_magnitude(luma_plane(reference), w, h);
+  const auto gb = sobel_magnitude(luma_plane(test), w, h);
+
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    ma += ga[i];
+    mb += gb[i];
+  }
+  ma /= static_cast<double>(ga.size());
+  mb /= static_cast<double>(gb.size());
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    const double da = ga[i] - ma;
+    const double db = gb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0 || vb <= 0) return 1.0;
+  return std::clamp(cov / std::sqrt(va * vb), 0.0, 1.0);
+}
+
+double mos_from_metric(double metric, const MosCalibration& cal) {
+  const double rating = 10.0 / (1.0 + std::exp(-cal.slope * (metric - cal.midpoint)));
+  return std::clamp(rating, 0.0, 10.0);
+}
+
+double content_rating(const image::Raster& reference, const image::Raster& test) {
+  // Anchors chosen against Fig. 5: ~5-6 at 5% uninterpolated loss, ~7-8
+  // with interpolation at 20%, near-zero at 50% uninterpolated.
+  return mos_from_metric(ssim(reference, test), {0.68, 6.0});
+}
+
+double text_rating(const image::Raster& reference, const image::Raster& test) {
+  // Edge coherence collapses faster under loss, reproducing "text
+  // readability is more susceptible to losses".
+  return mos_from_metric(edge_coherence(reference, test), {0.64, 5.0});
+}
+
+}  // namespace sonic::eval

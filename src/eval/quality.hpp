@@ -1,0 +1,44 @@
+// Objective quality metrics and the user-study substitution (Fig. 5).
+//
+// The paper recruited 151 students to rate 400 loss-injected screenshots on
+// two 0-10 Likert questions: (a) content understanding and (b) text
+// readability. We replace the raters with objective metrics mapped through
+// monotone mean-opinion-score (MOS) calibrations:
+//
+//   * content understanding <- SSIM (structural similarity): global layout
+//     and imagery survive losses that destroy fine detail;
+//   * text readability     <- edge-coherence (gradient-map correlation):
+//     text lives in high-frequency structure, so it degrades faster, which
+//     is exactly the paper's observation that "text readability is more
+//     susceptible to losses".
+//
+// Any monotone quality->rating map preserves the figure's shape (who wins
+// and by how much); the calibration constants only set the scale anchors.
+#pragma once
+
+#include <cstdint>
+
+#include "image/raster.hpp"
+
+namespace sonic::eval {
+
+// Mean SSIM over 8x8 windows of the luma plane, in [0, 1] (1 = identical).
+double ssim(const image::Raster& reference, const image::Raster& test);
+
+// Correlation of Sobel gradient-magnitude maps, in [0, 1]; penalizes
+// exactly the high-frequency damage that makes text unreadable.
+double edge_coherence(const image::Raster& reference, const image::Raster& test);
+
+// Monotone logistic MOS mapping onto the paper's 0-10 Likert scale.
+struct MosCalibration {
+  double midpoint = 0.6;  // metric value that maps to rating 5
+  double slope = 8.0;     // steepness of the metric->rating transition
+};
+
+double mos_from_metric(double metric, const MosCalibration& cal);
+
+// The two question-specific raters.
+double content_rating(const image::Raster& reference, const image::Raster& test);  // question (a)
+double text_rating(const image::Raster& reference, const image::Raster& test);     // question (b)
+
+}  // namespace sonic::eval

@@ -1,0 +1,179 @@
+#include "fec/convolutional.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sonic::fec {
+namespace {
+
+int parity(std::uint32_t v) { return std::popcount(v) & 1; }
+
+}  // namespace
+
+ConvolutionalCodec::ConvolutionalCodec(ConvSpec spec) : spec_(spec) {
+  switch (spec.code) {
+    case ConvCode::kV27:
+      k_ = 7;
+      poly_a_ = 0x6d;
+      poly_b_ = 0x4f;
+      break;
+    case ConvCode::kV29:
+      k_ = 9;
+      poly_a_ = 0x1af;
+      poly_b_ = 0x11d;
+      break;
+    default:
+      throw std::invalid_argument("unknown convolutional code");
+  }
+  num_states_ = 1 << (k_ - 1);
+  branches_.resize(static_cast<std::size_t>(num_states_) << 1);
+  for (int state = 0; state < num_states_; ++state) {
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::uint32_t reg = (static_cast<std::uint32_t>(state) << 1) | static_cast<std::uint32_t>(bit);
+      Branch& br = branches_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)];
+      br.out0 = static_cast<std::uint8_t>(parity(reg & poly_a_));
+      br.out1 = static_cast<std::uint8_t>(parity(reg & poly_b_));
+    }
+  }
+}
+
+std::vector<int> ConvolutionalCodec::puncture_pattern() const {
+  // Patterns over consecutive (out0, out1) pairs; 1 = transmit.
+  switch (spec_.rate) {
+    case PunctureRate::kRate1_2: return {1, 1};
+    case PunctureRate::kRate2_3: return {1, 1, 1, 0};
+    case PunctureRate::kRate3_4: return {1, 1, 0, 1, 1, 0};
+  }
+  return {1, 1};
+}
+
+double ConvolutionalCodec::rate() const {
+  switch (spec_.rate) {
+    case PunctureRate::kRate1_2: return 0.5;
+    case PunctureRate::kRate2_3: return 2.0 / 3.0;
+    case PunctureRate::kRate3_4: return 0.75;
+  }
+  return 0.5;
+}
+
+void ConvolutionalCodec::raw_encode_bits(std::span<const std::uint8_t> data,
+                                         std::vector<std::uint8_t>& out_bits) const {
+  std::uint32_t state = 0;
+  auto push = [&](int bit) {
+    const Branch& br = branches_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)];
+    out_bits.push_back(br.out0);
+    out_bits.push_back(br.out1);
+    state = ((state << 1) | static_cast<std::uint32_t>(bit)) & static_cast<std::uint32_t>(num_states_ - 1);
+  };
+  for (std::uint8_t byte : data) {
+    for (int i = 7; i >= 0; --i) push((byte >> i) & 1);
+  }
+  for (int i = 0; i < k_ - 1; ++i) push(0);  // flush to state 0
+}
+
+std::size_t ConvolutionalCodec::encoded_bits(std::size_t payload_bytes) const {
+  const std::size_t in_bits = payload_bytes * 8 + static_cast<std::size_t>(k_ - 1);
+  const std::size_t raw = in_bits * 2;
+  const auto pat = puncture_pattern();
+  const std::size_t kept_per_period = static_cast<std::size_t>(std::count(pat.begin(), pat.end(), 1));
+  const std::size_t full = raw / pat.size();
+  std::size_t bits = full * kept_per_period;
+  for (std::size_t i = full * pat.size(); i < raw; ++i) bits += static_cast<std::size_t>(pat[i % pat.size()]);
+  return bits;
+}
+
+util::Bytes ConvolutionalCodec::encode(std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> raw;
+  raw.reserve(data.size() * 16 + 32);
+  raw_encode_bits(data, raw);
+
+  const auto pat = puncture_pattern();
+  util::BitWriter bw;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (pat[i % pat.size()]) bw.bit(raw[i]);
+  }
+  return bw.take();
+}
+
+util::Bytes ConvolutionalCodec::decode_soft(std::span<const float> soft,
+                                            std::size_t payload_bytes) const {
+  const std::size_t in_bits = payload_bytes * 8 + static_cast<std::size_t>(k_ - 1);
+  const auto pat = puncture_pattern();
+
+  // De-puncture into per-step (out0, out1) soft pairs; punctured positions
+  // become 0.5 (no information).
+  std::vector<float> pairs(in_bits * 2, 0.5f);
+  std::size_t soft_idx = 0;
+  for (std::size_t i = 0; i < in_bits * 2; ++i) {
+    if (pat[i % pat.size()]) {
+      pairs[i] = soft_idx < soft.size() ? soft[soft_idx] : 0.5f;
+      ++soft_idx;
+    }
+  }
+
+  constexpr float kInf = std::numeric_limits<float>::max() / 4;
+  std::vector<float> metric(static_cast<std::size_t>(num_states_), kInf);
+  std::vector<float> next_metric(static_cast<std::size_t>(num_states_), kInf);
+  metric[0] = 0.0f;  // encoder starts in state 0
+
+  // Survivor storage: transitioning prev -> next with input bit b gives
+  // next = ((prev << 1) | b) & mask, so b == (next & 1) and prev is fully
+  // determined by next plus prev's evicted MSB. One evicted bit per
+  // (step, state) is all the traceback needs.
+  std::vector<std::uint8_t> survivors(in_bits * static_cast<std::size_t>(num_states_));
+
+  const std::uint32_t state_mask = static_cast<std::uint32_t>(num_states_ - 1);
+  for (std::size_t step = 0; step < in_bits; ++step) {
+    const float s0 = pairs[step * 2];
+    const float s1 = pairs[step * 2 + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    std::uint8_t* surv = survivors.data() + step * static_cast<std::size_t>(num_states_);
+    for (int state = 0; state < num_states_; ++state) {
+      const float base = metric[static_cast<std::size_t>(state)];
+      if (base >= kInf) continue;
+      for (int bit = 0; bit < 2; ++bit) {
+        const Branch& br = branches_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)];
+        // Branch metric: L1 distance between expected and observed soft bits.
+        const float m = base + std::fabs(s0 - static_cast<float>(br.out0)) +
+                        std::fabs(s1 - static_cast<float>(br.out1));
+        const std::uint32_t ns = ((static_cast<std::uint32_t>(state) << 1) | static_cast<std::uint32_t>(bit)) & state_mask;
+        if (m < next_metric[ns]) {
+          next_metric[ns] = m;
+          surv[ns] = static_cast<std::uint8_t>((state >> (k_ - 2)) & 1);  // evicted MSB of prev
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Traceback from state 0 (guaranteed by the K-1 flush bits).
+  std::uint32_t state = 0;
+  util::Bytes out(payload_bytes, 0);
+  std::vector<std::uint8_t> bits(in_bits);
+  for (std::size_t step = in_bits; step-- > 0;) {
+    bits[step] = static_cast<std::uint8_t>(state & 1);  // the input bit that produced `state`
+    const std::uint32_t evicted = survivors[step * static_cast<std::size_t>(num_states_) + state];
+    state = (state >> 1) | (evicted << (k_ - 2));
+  }
+
+  for (std::size_t i = 0; i < payload_bytes * 8; ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+  }
+  return out;
+}
+
+util::Bytes ConvolutionalCodec::decode_hard(std::span<const std::uint8_t> packed_bits,
+                                            std::size_t payload_bytes) const {
+  const std::size_t nbits = encoded_bits(payload_bytes);
+  std::vector<float> soft(nbits, 0.5f);
+  util::BitReader br(packed_bits);
+  for (std::size_t i = 0; i < nbits && br.bits_remaining() > 0; ++i) {
+    soft[i] = static_cast<float>(br.bit());
+  }
+  return decode_soft(soft, payload_bytes);
+}
+
+}  // namespace sonic::fec

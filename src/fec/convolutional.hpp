@@ -1,0 +1,78 @@
+// Convolutional coding with Viterbi decoding — the paper's "inner FEC
+// scheme (v29)" (§3.3), i.e. the constraint-length-9 rate-1/2 code that the
+// Quiet library inherits from libfec. We also provide the K=7 "v27" code and
+// puncturing to rates 2/3 and 3/4 so transmission profiles can trade
+// robustness for throughput.
+//
+// Soft inputs are per-bit values in [0, 1]: 0.0 = confident logical 0,
+// 1.0 = confident logical 1, 0.5 = erasure/unknown. Hard decisions map to
+// exactly 0.0 / 1.0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sonic::fec {
+
+enum class ConvCode {
+  kV27,  // K=7, polys 0x6d / 0x4f (Voyager)
+  kV29,  // K=9, polys 0x1af / 0x11d (the paper's inner code)
+};
+
+enum class PunctureRate {
+  kRate1_2,  // mother code, no puncturing
+  kRate2_3,
+  kRate3_4,
+};
+
+struct ConvSpec {
+  ConvCode code = ConvCode::kV29;
+  PunctureRate rate = PunctureRate::kRate1_2;
+};
+
+class ConvolutionalCodec {
+ public:
+  explicit ConvolutionalCodec(ConvSpec spec);
+
+  // Encodes `data` (bytes, MSB-first) plus K-1 flush bits; returns the
+  // punctured output bitstream packed into bytes.
+  util::Bytes encode(std::span<const std::uint8_t> data) const;
+
+  // Number of encoded bits produced for `payload_bytes` input bytes
+  // (after puncturing, before byte packing).
+  std::size_t encoded_bits(std::size_t payload_bytes) const;
+
+  // Viterbi decode of soft bits back into `payload_bytes` bytes. `soft`
+  // must contain encoded_bits(payload_bytes) entries. Returns the decoded
+  // bytes; the code is always decodable (it picks the best path), so
+  // integrity must be checked by an outer CRC.
+  util::Bytes decode_soft(std::span<const float> soft, std::size_t payload_bytes) const;
+
+  // Convenience: hard-decision decode from packed bits.
+  util::Bytes decode_hard(std::span<const std::uint8_t> packed_bits, std::size_t payload_bytes) const;
+
+  int constraint_length() const { return k_; }
+  // Effective code rate as a fraction (e.g. 0.5, 2/3, 0.75).
+  double rate() const;
+
+ private:
+  struct Branch {
+    std::uint8_t out0;  // first output bit
+    std::uint8_t out1;  // second output bit
+  };
+
+  std::vector<int> puncture_pattern() const;  // 1 = keep, over output bit pairs
+  void raw_encode_bits(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out_bits) const;
+
+  ConvSpec spec_;
+  int k_;                 // constraint length
+  std::uint32_t poly_a_;
+  std::uint32_t poly_b_;
+  int num_states_;
+  std::vector<Branch> branches_;  // [state << 1 | input_bit]
+};
+
+}  // namespace sonic::fec

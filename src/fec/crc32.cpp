@@ -1,0 +1,39 @@
+#include "fec/crc32.hpp"
+
+#include <array>
+
+namespace sonic::fec {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::uint8_t byte) {
+  state_ = table()[(state_ ^ byte) & 0xffu] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) update(b);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace sonic::fec

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// paper's transmission profile attaches to every SONIC frame (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sonic::fec {
+
+// One-shot CRC of a buffer.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental interface for streaming use.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  void update(std::uint8_t byte);
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace sonic::fec

@@ -1,0 +1,44 @@
+#include "fec/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace sonic::fec {
+
+BlockInterleaver::BlockInterleaver(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("interleaver dims must be positive");
+}
+
+util::Bytes BlockInterleaver::interleave(std::span<const std::uint8_t> data) const {
+  const std::size_t bs = block_size();
+  const std::size_t blocks = (data.size() + bs - 1) / bs;
+  util::Bytes out(blocks * bs, 0);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        const std::size_t src = blk * bs + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c);
+        const std::size_t dst = blk * bs + static_cast<std::size_t>(c) * static_cast<std::size_t>(rows_) + static_cast<std::size_t>(r);
+        out[dst] = src < data.size() ? data[src] : 0;
+      }
+    }
+  }
+  return out;
+}
+
+util::Bytes BlockInterleaver::deinterleave(std::span<const std::uint8_t> data, std::size_t original_size) const {
+  const std::size_t bs = block_size();
+  const std::size_t blocks = (data.size() + bs - 1) / bs;
+  util::Bytes out(blocks * bs, 0);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        const std::size_t dst = blk * bs + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c);
+        const std::size_t src = blk * bs + static_cast<std::size_t>(c) * static_cast<std::size_t>(rows_) + static_cast<std::size_t>(r);
+        out[dst] = src < data.size() ? data[src] : 0;
+      }
+    }
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace sonic::fec

@@ -1,0 +1,32 @@
+// Block interleaver. OFDM symbol errors arrive in bursts (a faded symbol
+// corrupts many adjacent coded bits); interleaving spreads each burst across
+// the Viterbi decoder's input so the inner code sees near-independent errors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace sonic::fec {
+
+class BlockInterleaver {
+ public:
+  // rows x cols byte matrix; written row-major, read column-major.
+  BlockInterleaver(int rows, int cols);
+
+  // Interleaves `data`, padding the final partial block with zeros.
+  // Output size is data.size() rounded up to a multiple of rows*cols.
+  util::Bytes interleave(std::span<const std::uint8_t> data) const;
+
+  // Inverse permutation. `original_size` trims the padding added above.
+  util::Bytes deinterleave(std::span<const std::uint8_t> data, std::size_t original_size) const;
+
+  std::size_t block_size() const { return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_); }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace sonic::fec

@@ -1,0 +1,58 @@
+// Reed-Solomon coding over GF(2^8) — the paper's "outer FEC scheme (rs8)"
+// (§3.3). Block length 255 with a configurable number of parity symbols
+// (default 32, i.e. RS(255,223)); shortened blocks are supported so SONIC's
+// 100-byte frames fit in a single codeword. The decoder corrects e errors
+// and f erasures whenever 2e + f <= nroots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sonic::fec {
+
+// GF(2^8) arithmetic with primitive polynomial 0x11d (as used by rs8/CCSDS).
+class GF256 {
+ public:
+  static const GF256& instance();
+
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const;  // b != 0
+  std::uint8_t inv(std::uint8_t a) const;                  // a != 0
+  std::uint8_t pow(std::uint8_t a, int e) const;
+  std::uint8_t exp(int e) const { return exp_[((e % 255) + 255) % 255]; }
+  int log(std::uint8_t a) const { return log_[a]; }  // undefined for 0
+
+ private:
+  GF256();
+  std::uint8_t exp_[512];
+  int log_[256];
+};
+
+class ReedSolomon {
+ public:
+  // nroots parity symbols; payload per full block is 255 - nroots.
+  explicit ReedSolomon(int nroots = 32);
+
+  int nroots() const { return nroots_; }
+  int max_data() const { return 255 - nroots_; }
+
+  // Appends nroots parity bytes to `data` (size() <= max_data()).
+  util::Bytes encode(std::span<const std::uint8_t> data) const;
+
+  // Corrects `block` (data || parity, total <= 255) in place.
+  // `erasures` holds byte indexes into `block` known to be unreliable.
+  // Returns the number of corrected symbols, or std::nullopt if the
+  // codeword is uncorrectable.
+  std::optional<int> decode(std::span<std::uint8_t> block,
+                            std::span<const int> erasures = {}) const;
+
+ private:
+  int nroots_;
+  std::vector<std::uint8_t> genpoly_;  // ascending powers, genpoly_[nroots] == 1
+};
+
+}  // namespace sonic::fec

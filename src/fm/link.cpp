@@ -1,0 +1,32 @@
+#include "fm/link.hpp"
+
+namespace sonic::fm {
+
+FmLink::FmLink(FmLinkConfig config) : config_(std::move(config)), rng_(config_.seed) {}
+
+double FmLink::rf_cnr_db() const {
+  return config_.rf.rssi_db - config_.rf.noise_floor_db;
+}
+
+std::vector<float> FmLink::transmit(std::span<const float> audio) {
+  std::vector<float> radio_audio;
+  if (config_.enable_rf) {
+    FmModulator mod(config_.fm);
+    FmDemodulator demod(config_.fm);
+    RfChannel rf(config_.rf, rng_.fork(1));
+    const auto iq_tx = mod.modulate(audio);
+    const auto iq_rx = rf.process(iq_tx);
+    radio_audio = demod.demodulate(iq_rx);
+  } else {
+    radio_audio.assign(audio.begin(), audio.end());
+  }
+
+  AcousticChannel air(config_.acoustic, rng_.fork(2));
+  auto out = air.process(radio_audio);
+  last_acoustic_snr_db_ = air.trial_snr_db();
+  // Advance the seed so repeated transmits see fresh channel draws.
+  rng_ = rng_.fork(3);
+  return out;
+}
+
+}  // namespace sonic::fm

@@ -1,0 +1,43 @@
+// End-to-end FM broadcast link: modem audio -> FM transmitter -> RF channel
+// (RSSI) -> radio receiver -> over-the-air/cable audio hop -> SONIC client.
+// This is the full substrate chain behind the paper's testbed (Figure 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fm/acoustic.hpp"
+#include "fm/fm_modem.hpp"
+#include "util/rng.hpp"
+
+namespace sonic::fm {
+
+struct FmLinkConfig {
+  FmParams fm;                 // modulator/demodulator settings
+  RfChannelParams rf;          // RSSI etc.
+  AcousticParams acoustic;     // distance etc. (distance 0 = cable)
+  bool enable_rf = true;       // false: bypass the RF hop entirely (ideal
+                               // radio, e.g. when only the acoustic hop is
+                               // under study — ~5x faster)
+  std::uint64_t seed = 1;
+};
+
+class FmLink {
+ public:
+  explicit FmLink(FmLinkConfig config);
+
+  // Runs `audio` through the whole chain and returns what the SONIC client
+  // hears.
+  std::vector<float> transmit(std::span<const float> audio);
+
+  // Diagnostics from the last transmit().
+  double last_acoustic_snr_db() const { return last_acoustic_snr_db_; }
+  double rf_cnr_db() const;
+
+ private:
+  FmLinkConfig config_;
+  sonic::util::Rng rng_;
+  double last_acoustic_snr_db_ = 0.0;
+};
+
+}  // namespace sonic::fm

@@ -1,0 +1,61 @@
+// Loss-resilient per-column image transport codec.
+//
+// §3.3: "we first divide the image vertically into multiple partitions, each
+// with a width of 1 pixel. Each partition is then divided into fixed-sized
+// frames of 100 bytes each." Each SONIC frame must therefore be
+// independently decodable, so that a lost frame blanks only a bounded run of
+// rows in one column — the vertical dash artifacts of Figure 1.
+//
+// Each segment codes a (column, row0, rows) run: quantized YCbCr with
+// vertical prediction and Exp-Golomb residuals, greedily sized to fit the
+// frame payload budget. Chroma is vertically subsampled 2:1. The quality
+// knob follows the same libjpeg-style scale as swebp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "image/raster.hpp"
+#include "util/bytes.hpp"
+
+namespace sonic::image {
+
+struct ColumnSegment {
+  std::uint16_t col = 0;
+  std::uint16_t row0 = 0;
+  std::uint16_t rows = 0;
+  util::Bytes data;  // coded residual stream (excludes the fields above)
+};
+
+struct ColumnCodecParams {
+  int quality = 10;         // §3.2: WebP quality 10 operating point
+  int payload_budget = 94;  // coded bytes per segment; with the 6-byte
+                            // segment header this fills a 100-byte frame
+};
+
+// Splits the image into per-column segments, each fitting the budget.
+std::vector<ColumnSegment> column_encode(const Raster& img, const ColumnCodecParams& params);
+
+// Received-pixel mask: one byte per pixel, 1 = covered by a received segment.
+struct ColumnDecodeResult {
+  Raster image;                    // missing pixels are black (paper: "dark")
+  std::vector<std::uint8_t> mask;  // width*height
+  double coverage() const;         // fraction of pixels received
+};
+
+// Reassembles from whichever segments survived; width/height come from the
+// transport metadata.
+ColumnDecodeResult column_decode(int width, int height,
+                                 std::span<const ColumnSegment> segments,
+                                 const ColumnCodecParams& params);
+
+// Total coded transport size (segment data + per-segment headers).
+std::size_t column_encoded_size(std::span<const ColumnSegment> segments);
+
+// Serialization of one segment (used by the SONIC framing layer).
+util::Bytes segment_serialize(const ColumnSegment& seg);
+std::optional<ColumnSegment> segment_parse(std::span<const std::uint8_t> bytes);
+
+}  // namespace sonic::image

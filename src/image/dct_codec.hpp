@@ -1,0 +1,34 @@
+// "swebp" — SONIC's WebP-class lossy still-image codec.
+//
+// The paper captures webpage screenshots as WebP with quality 10 (§3.2);
+// libwebp is not reimplementable in scope, so this codec reproduces the
+// operative behaviour instead: block-DCT transform coding with a
+// libjpeg-style quality knob (0..100, paper uses 10/50/90), YCbCr 4:2:0,
+// zigzag run-length + Exp-Golomb entropy coding. Size-vs-quality follows
+// the same curve shape as WebP on text-heavy webpage content, which is what
+// Figure 4(b) measures.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "image/raster.hpp"
+#include "util/bytes.hpp"
+
+namespace sonic::image {
+
+// Encodes at `quality` in [1, 100] (higher = better/larger).
+util::Bytes swebp_encode(const Raster& img, int quality);
+
+// Returns nullopt on malformed input.
+std::optional<Raster> swebp_decode(std::span<const std::uint8_t> data);
+
+// Parsed header info without full decode.
+struct SwebpInfo {
+  int width = 0;
+  int height = 0;
+  int quality = 0;
+};
+std::optional<SwebpInfo> swebp_peek(std::span<const std::uint8_t> data);
+
+}  // namespace sonic::image

@@ -1,0 +1,100 @@
+#include "image/interpolate.hpp"
+
+#include <stdexcept>
+
+namespace sonic::image {
+namespace {
+
+inline std::size_t idx(int x, int y, int w) {
+  return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + static_cast<std::size_t>(x);
+}
+
+}  // namespace
+
+const char* interpolation_mode_name(InterpolationMode mode) {
+  switch (mode) {
+    case InterpolationMode::kNone: return "none";
+    case InterpolationMode::kLeft: return "left";
+    case InterpolationMode::kUp: return "up";
+    case InterpolationMode::kAverage: return "average";
+  }
+  return "?";
+}
+
+void interpolate_missing(Raster& img, std::vector<std::uint8_t>& mask, InterpolationMode mode) {
+  if (mode == InterpolationMode::kNone) return;
+  const int w = img.width();
+  const int h = img.height();
+  if (mask.size() != static_cast<std::size_t>(w) * static_cast<std::size_t>(h))
+    throw std::invalid_argument("mask size mismatch");
+
+  // Iterate until no pixel can be filled (wide gaps fill inward one ring
+  // per sweep; bounded by max(w, h) sweeps).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (mask[idx(x, y, w)]) continue;
+        const bool left = x > 0 && mask[idx(x - 1, y, w)];
+        const bool right = x + 1 < w && mask[idx(x + 1, y, w)];
+        const bool up = y > 0 && mask[idx(x, y - 1, w)];
+        const bool down = y + 1 < h && mask[idx(x, y + 1, w)];
+        switch (mode) {
+          case InterpolationMode::kLeft:
+            // Left first (text reads left to right), then the other
+            // neighbours in falling usefulness.
+            if (left) {
+              img.at(x, y) = img.at(x - 1, y);
+            } else if (right) {
+              img.at(x, y) = img.at(x + 1, y);
+            } else if (up) {
+              img.at(x, y) = img.at(x, y - 1);
+            } else if (down) {
+              img.at(x, y) = img.at(x, y + 1);
+            } else {
+              continue;
+            }
+            break;
+          case InterpolationMode::kUp:
+            if (up) {
+              img.at(x, y) = img.at(x, y - 1);
+            } else if (down) {
+              img.at(x, y) = img.at(x, y + 1);
+            } else if (left) {
+              img.at(x, y) = img.at(x - 1, y);
+            } else if (right) {
+              img.at(x, y) = img.at(x + 1, y);
+            } else {
+              continue;
+            }
+            break;
+          case InterpolationMode::kAverage: {
+            int r = 0, g = 0, b = 0, n = 0;
+            auto add = [&](int xx, int yy) {
+              const Rgb& c = img.at(xx, yy);
+              r += c.r;
+              g += c.g;
+              b += c.b;
+              ++n;
+            };
+            if (left) add(x - 1, y);
+            if (right) add(x + 1, y);
+            if (up) add(x, y - 1);
+            if (down) add(x, y + 1);
+            if (n == 0) continue;
+            img.at(x, y) = Rgb{static_cast<std::uint8_t>(r / n), static_cast<std::uint8_t>(g / n),
+                               static_cast<std::uint8_t>(b / n)};
+            break;
+          }
+          case InterpolationMode::kNone:
+            continue;
+        }
+        mask[idx(x, y, w)] = 1;
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace sonic::image

@@ -1,0 +1,31 @@
+// Nearest-neighbor pixel interpolation for lost-frame recovery.
+//
+// §3.3: "missing pixels are replaced with the value of their adjacent pixel,
+// prioritizing the left pixel given that the webpage consists mostly of text
+// read from left to right." kLeft is that scheme; the other modes exist for
+// the ablation bench (bench/ablation_interpolation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/raster.hpp"
+
+namespace sonic::image {
+
+enum class InterpolationMode {
+  kNone,       // leave missing pixels dark (user-study "without" arm)
+  kLeft,       // paper's scheme: left neighbour first, then right/up/down
+  kUp,         // vertical-first variant (pathological for column losses)
+  kAverage,    // mean of all available 4-neighbours
+};
+
+// Fills pixels whose mask entry is 0 using the chosen scheme; the mask is
+// updated to 1 for every recovered pixel. Multiple sweeps propagate values
+// into wide gaps.
+void interpolate_missing(Raster& img, std::vector<std::uint8_t>& mask, InterpolationMode mode);
+
+const char* interpolation_mode_name(InterpolationMode mode);
+
+}  // namespace sonic::image

@@ -1,0 +1,18 @@
+// Lossless predictive codec (PNG-class). DRIVESHAFT requires lossless PNG
+// for its screenshot merging (§3.2); SONIC deliberately chooses lossy WebP
+// instead — this codec exists so the size comparison behind that choice can
+// be reproduced (bench/fig4b_size_cdf --lossless).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "image/raster.hpp"
+#include "util/bytes.hpp"
+
+namespace sonic::image {
+
+util::Bytes lossless_encode(const Raster& img);
+std::optional<Raster> lossless_decode(std::span<const std::uint8_t> data);
+
+}  // namespace sonic::image

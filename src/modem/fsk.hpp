@@ -1,0 +1,52 @@
+// M-ary FSK modem — the GGwave-class baseline the paper surveys in §2.
+// One tone out of `num_tones` per symbol period, Goertzel detection, a
+// marker-tone preamble for synchronization and a CRC32 trailer. Its low
+// rate (hundreds of bps) is the comparison point motivating the OFDM
+// profile in bench/ablation_modulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sonic::modem {
+
+struct FskProfile {
+  double sample_rate = 44100.0;
+  int num_tones = 16;            // power of two; bits/symbol = log2
+  double base_hz = 4000.0;       // first tone
+  double tone_spacing_hz = 250.0;
+  double symbol_duration_s = 0.01;
+  float amplitude = 0.5f;
+
+  int bits_per_symbol() const;
+  double bit_rate() const { return bits_per_symbol() / symbol_duration_s; }
+  int samples_per_symbol() const { return static_cast<int>(sample_rate * symbol_duration_s); }
+  double tone_hz(int idx) const { return base_hz + tone_spacing_hz * idx; }
+};
+
+class FskModem {
+ public:
+  explicit FskModem(FskProfile profile);
+
+  const FskProfile& profile() const { return profile_; }
+
+  std::vector<float> modulate(std::span<const std::uint8_t> payload) const;
+
+  // Finds and decodes the first packet at or after `from`; returns the
+  // payload, or nullopt if no packet is found or the CRC fails.
+  std::optional<util::Bytes> demodulate(std::span<const float> samples, std::size_t from = 0) const;
+
+ private:
+  static constexpr int kPreambleSymbols = 8;
+
+  std::vector<float> tone(int idx, int samples) const;
+  int detect_symbol(std::span<const float> win) const;
+
+  FskProfile profile_;
+};
+
+}  // namespace sonic::modem

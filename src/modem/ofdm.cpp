@@ -1,0 +1,469 @@
+#include "modem/ofdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sonic::modem {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x534e;  // "SN"
+constexpr std::uint64_t kPrbsSeed = 0x50494c4f54ull;  // "PILOT"
+
+// PRBS QPSK points shared by transmitter and receiver.
+std::vector<cplx> prbs_qpsk(std::size_t n, std::uint64_t stream) {
+  sonic::util::Rng rng(kPrbsSeed ^ stream * 0x9e3779b97f4a7c15ull);
+  std::vector<cplx> out(n);
+  const float a = 1.0f / std::sqrt(2.0f);
+  for (auto& v : out) {
+    v = cplx(rng.bernoulli(0.5) ? a : -a, rng.bernoulli(0.5) ? a : -a);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t RxBurst::frames_ok() const {
+  std::size_t n = 0;
+  for (const auto& f : frames) n += f.has_value();
+  return n;
+}
+
+double RxBurst::frame_loss_rate() const {
+  if (frames.empty()) return 0.0;
+  return 1.0 - static_cast<double>(frames_ok()) / static_cast<double>(frames.size());
+}
+
+OfdmModem::OfdmModem(OfdmProfile profile)
+    : profile_(std::move(profile)),
+      qam_(profile_.constellation),
+      payload_codec_(PacketSpec{profile_.conv, profile_.rs_nroots, 223, true}),
+      header_codec_({fec::ConvCode::kV27, fec::PunctureRate::kRate1_2}) {
+  const int n = profile_.num_subcarriers;
+  if (profile_.first_bin() < 1 || profile_.first_bin() + n >= profile_.fft_size / 2)
+    throw std::invalid_argument("subcarriers do not fit below Nyquist");
+
+  // Preamble A: PRBS QPSK on even absolute FFT bins only -> time-domain
+  // signal periodic with fft_size/2 (Schmidl&Cox detectable). sqrt(2)
+  // boost keeps its symbol energy equal to regular symbols.
+  const auto prbs_a = prbs_qpsk(static_cast<std::size_t>(n), 1);
+  preamble_a_.assign(static_cast<std::size_t>(n), cplx(0, 0));
+  for (int i = 0; i < n; ++i) {
+    const int abs_bin = profile_.first_bin() + i;
+    if (abs_bin % 2 == 0) preamble_a_[static_cast<std::size_t>(i)] = prbs_a[static_cast<std::size_t>(i)] * std::sqrt(2.0f);
+  }
+  preamble_b_ = prbs_qpsk(static_cast<std::size_t>(n), 2);
+
+  const auto pilot_vals = prbs_qpsk(static_cast<std::size_t>(n), 3);
+  pilots_.assign(static_cast<std::size_t>(n), cplx(0, 0));
+  for (int i = 0; i < n; ++i) {
+    if (is_pilot(i)) {
+      // BPSK pilots (real axis) at pilot positions.
+      pilots_[static_cast<std::size_t>(i)] = cplx(pilot_vals[static_cast<std::size_t>(i)].real() > 0 ? 1.0f : -1.0f, 0.0f);
+    }
+  }
+
+  // Time-domain gain: with K unit-energy carriers (hermitian-doubled), the
+  // post-IFFT RMS is sqrt(2K)/N; scale to the profile's amplitude target.
+  tx_gain_ = profile_.amplitude * static_cast<float>(profile_.fft_size) /
+             std::sqrt(2.0f * static_cast<float>(n));
+
+  std::vector<float> tmpl;
+  synth_symbol(preamble_a_, tmpl);
+  template_a_ = tmpl;
+  synth_symbol(preamble_b_, tmpl);
+  template_b_ = tmpl;
+}
+
+bool OfdmModem::is_pilot(int rel_idx) const {
+  return profile_.pilot_spacing > 0 && rel_idx % profile_.pilot_spacing == 0;
+}
+
+std::size_t OfdmModem::header_symbols() const {
+  const std::size_t header_bits = header_codec_.encoded_bits(8);
+  return (header_bits + static_cast<std::size_t>(profile_.data_carriers()) - 1) /
+         static_cast<std::size_t>(profile_.data_carriers());
+}
+
+std::size_t OfdmModem::payload_symbols(std::size_t frame_len, std::size_t frame_count) const {
+  const std::size_t bits = payload_codec_.encoded_bits(frame_len) * frame_count;
+  const std::size_t per_symbol =
+      static_cast<std::size_t>(profile_.data_carriers()) * static_cast<std::size_t>(qam_.bits_per_symbol());
+  return (bits + per_symbol - 1) / per_symbol;
+}
+
+std::size_t OfdmModem::burst_samples(std::size_t frame_len, std::size_t frame_count) const {
+  const std::size_t symbols = 2 + header_symbols() + payload_symbols(frame_len, frame_count) + 1;
+  return symbols * static_cast<std::size_t>(symbol_len());
+}
+
+void OfdmModem::synth_symbol(std::span<const cplx> carriers, std::vector<float>& out) const {
+  const int N = profile_.fft_size;
+  std::vector<dsp::cplx> spec(static_cast<std::size_t>(N), dsp::cplx(0, 0));
+  for (int i = 0; i < profile_.num_subcarriers; ++i) {
+    const int b = profile_.first_bin() + i;
+    const cplx v = carriers[static_cast<std::size_t>(i)];
+    spec[static_cast<std::size_t>(b)] = v;
+    spec[static_cast<std::size_t>(N - b)] = std::conj(v);
+  }
+  dsp::ifft(spec);
+  out.resize(static_cast<std::size_t>(N + profile_.cp_len));
+  for (int i = 0; i < N; ++i) {
+    out[static_cast<std::size_t>(profile_.cp_len + i)] = spec[static_cast<std::size_t>(i)].real() * tx_gain_;
+  }
+  for (int i = 0; i < profile_.cp_len; ++i) {
+    out[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(N + i)];
+  }
+}
+
+std::vector<cplx> OfdmModem::analyze_symbol(std::span<const float> samples, std::size_t pos) const {
+  const int N = profile_.fft_size;
+  std::vector<dsp::cplx> spec(static_cast<std::size_t>(N), dsp::cplx(0, 0));
+  for (int i = 0; i < N; ++i) {
+    const std::size_t idx = pos + static_cast<std::size_t>(i);
+    spec[static_cast<std::size_t>(i)] = dsp::cplx(idx < samples.size() ? samples[idx] : 0.0f, 0.0f);
+  }
+  dsp::fft(spec);
+  std::vector<cplx> out(static_cast<std::size_t>(profile_.num_subcarriers));
+  for (int i = 0; i < profile_.num_subcarriers; ++i) {
+    out[static_cast<std::size_t>(i)] = spec[static_cast<std::size_t>(profile_.first_bin() + i)] / tx_gain_;
+  }
+  return out;
+}
+
+std::vector<float> OfdmModem::modulate(const std::vector<util::Bytes>& frames) const {
+  if (frames.empty()) throw std::invalid_argument("empty burst");
+  const std::size_t frame_len = frames.front().size();
+  for (const auto& f : frames) {
+    if (f.size() != frame_len) throw std::invalid_argument("frames must be equal-sized");
+  }
+  if (frame_len == 0 || frame_len > 0xffff || frames.size() > 0xffff)
+    throw std::invalid_argument("frame size/count out of range");
+
+  // Header.
+  util::ByteWriter hw;
+  hw.u16(kMagic);
+  hw.u16(static_cast<std::uint16_t>(frame_len));
+  hw.u16(static_cast<std::uint16_t>(frames.size()));
+  hw.u16(crc16_ccitt(hw.bytes()));
+  const util::Bytes header_coded = header_codec_.encode(hw.bytes());
+  const std::size_t header_bits = header_codec_.encoded_bits(8);
+
+  // Payload bit stream: per-frame PacketCodec output, concatenated.
+  std::vector<std::uint8_t> payload_bits;
+  for (const auto& f : frames) {
+    const util::Bytes coded = payload_codec_.encode(f);
+    util::BitReader br(coded);
+    const std::size_t nbits = payload_codec_.encoded_bits(frame_len);
+    for (std::size_t i = 0; i < nbits; ++i) payload_bits.push_back(static_cast<std::uint8_t>(br.bit()));
+  }
+
+  std::vector<float> out;
+  std::vector<float> sym;
+  auto emit = [&](std::span<const cplx> carriers) {
+    synth_symbol(carriers, sym);
+    out.insert(out.end(), sym.begin(), sym.end());
+  };
+
+  emit(preamble_a_);
+  emit(preamble_b_);
+
+  // Header symbols: BPSK on data carriers.
+  {
+    util::BitReader hbr(header_coded);
+    std::size_t sent = 0;
+    for (std::size_t s = 0; s < header_symbols(); ++s) {
+      std::vector<cplx> carriers = pilots_;
+      for (int i = 0; i < profile_.num_subcarriers; ++i) {
+        if (is_pilot(i)) continue;
+        // Whitened like the payload: the fixed header pattern must not form
+        // a high-crest OFDM symbol.
+        const int bit = (sent < header_bits ? hbr.bit() : 0) ^ scrambler_bit(sent);
+        ++sent;
+        carriers[static_cast<std::size_t>(i)] = cplx(bit ? 1.0f : -1.0f, 0.0f);
+      }
+      emit(carriers);
+    }
+  }
+
+  // Payload symbols.
+  {
+    const int qbits = qam_.bits_per_symbol();
+    std::size_t idx = 0;
+    const std::size_t nsym = payload_symbols(frame_len, frames.size());
+    for (std::size_t s = 0; s < nsym; ++s) {
+      std::vector<cplx> carriers = pilots_;
+      for (int i = 0; i < profile_.num_subcarriers; ++i) {
+        if (is_pilot(i)) continue;
+        std::uint32_t v = 0;
+        for (int b = 0; b < qbits; ++b) {
+          const int bit = idx < payload_bits.size() ? payload_bits[idx] : 0;
+          ++idx;
+          v = (v << 1) | static_cast<std::uint32_t>(bit);
+        }
+        carriers[static_cast<std::size_t>(i)] = qam_.map(v);
+      }
+      emit(carriers);
+    }
+  }
+
+  // Inter-burst gap.
+  out.insert(out.end(), static_cast<std::size_t>(symbol_len()), 0.0f);
+  return out;
+}
+
+std::optional<OfdmModem::Sync> OfdmModem::find_sync(std::span<const float> samples,
+                                                    std::size_t from) const {
+  const int N = profile_.fft_size;
+  const int half = N / 2;
+  const std::size_t sym = static_cast<std::size_t>(symbol_len());
+  if (samples.size() < from + 2 * sym + static_cast<std::size_t>(N)) return std::nullopt;
+
+  // Schmidl & Cox coarse detection on the half-symbol periodicity of
+  // preamble A. Running sums updated per sample.
+  double p = 0, r = 0;
+  const std::size_t end = samples.size() - static_cast<std::size_t>(N) - sym;
+  for (int m = 0; m < half; ++m) {
+    const std::size_t i = from + static_cast<std::size_t>(m);
+    p += static_cast<double>(samples[i]) * samples[i + static_cast<std::size_t>(half)];
+    r += static_cast<double>(samples[i + static_cast<std::size_t>(half)]) * samples[i + static_cast<std::size_t>(half)];
+  }
+  double best_metric = 0;
+  std::size_t best_d = from;
+  bool in_plateau = false;
+  std::size_t plateau_end_guard = 0;
+  for (std::size_t d = from; d < end; ++d) {
+    const double metric = r > 1e-9 ? (p * p) / (r * r) : 0.0;
+    if (metric > 0.5) {
+      if (!in_plateau) {
+        in_plateau = true;
+        best_metric = 0;
+      }
+      if (metric > best_metric) {
+        best_metric = metric;
+        best_d = d;
+      }
+      plateau_end_guard = 0;
+    } else if (in_plateau) {
+      // Allow brief dips; end plateau after cp_len consecutive low samples.
+      if (++plateau_end_guard > static_cast<std::size_t>(profile_.cp_len)) break;
+    }
+    // Slide.
+    p += static_cast<double>(samples[d + static_cast<std::size_t>(half)]) * samples[d + static_cast<std::size_t>(N)] -
+         static_cast<double>(samples[d]) * samples[d + static_cast<std::size_t>(half)];
+    r += static_cast<double>(samples[d + static_cast<std::size_t>(N)]) * samples[d + static_cast<std::size_t>(N)] -
+         static_cast<double>(samples[d + static_cast<std::size_t>(half)]) * samples[d + static_cast<std::size_t>(half)];
+  }
+  if (!in_plateau) return std::nullopt;
+
+  // Fine timing: normalized cross-correlation with the preamble B template
+  // around the coarse estimate. Preamble B starts one symbol after A.
+  const long search_lo = static_cast<long>(best_d) - 2L * profile_.cp_len;
+  const long search_hi = static_cast<long>(best_d) + 2L * profile_.cp_len;
+  double tmpl_energy = 0;
+  for (float v : template_b_) tmpl_energy += static_cast<double>(v) * v;
+  double best_ncc = 0;
+  long best_b_start = -1;
+  for (long cand = search_lo; cand <= search_hi; ++cand) {
+    const long b_start = cand + static_cast<long>(sym);
+    if (b_start < 0) continue;
+    if (static_cast<std::size_t>(b_start) + template_b_.size() > samples.size()) break;
+    double dot = 0, energy = 0;
+    for (std::size_t i = 0; i < template_b_.size(); ++i) {
+      const double s = samples[static_cast<std::size_t>(b_start) + i];
+      dot += s * template_b_[i];
+      energy += s * s;
+    }
+    const double ncc = energy > 1e-12 ? std::fabs(dot) / std::sqrt(energy * tmpl_energy) : 0.0;
+    if (ncc > best_ncc) {
+      best_ncc = ncc;
+      best_b_start = b_start;
+    }
+  }
+  if (best_b_start < 0 || best_ncc < 0.2) return std::nullopt;
+  return Sync{static_cast<std::size_t>(best_b_start) - sym, static_cast<float>(best_ncc)};
+}
+
+std::optional<RxBurst> OfdmModem::receive_one(std::span<const float> samples, std::size_t from) const {
+  const auto sync = find_sync(samples, from);
+  if (!sync) return std::nullopt;
+
+  const std::size_t sym = static_cast<std::size_t>(symbol_len());
+  const std::size_t cp = static_cast<std::size_t>(profile_.cp_len);
+  const int n = profile_.num_subcarriers;
+  // Sample the FFT window slightly inside the CP to tolerate timing error.
+  const std::size_t cp_backoff = std::min<std::size_t>(cp / 4, 8);
+  auto body = [&](std::size_t symbol_index) {
+    return sync->start + symbol_index * sym + cp - cp_backoff;
+  };
+  // Compensate the intentional early sampling: rotate bin k by
+  // exp(+j*2*pi*k*backoff/N) after FFT (applied via the channel estimate,
+  // which sees the same shift).
+
+  if (body(2) + static_cast<std::size_t>(profile_.fft_size) > samples.size()) return std::nullopt;
+
+  // Channel estimate from preamble B.
+  const auto yb = analyze_symbol(samples, body(1));
+  std::vector<cplx> h(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    h[static_cast<std::size_t>(i)] = yb[static_cast<std::size_t>(i)] / preamble_b_[static_cast<std::size_t>(i)];
+  }
+  // Smooth H across 3 neighbours and estimate noise from the residual.
+  std::vector<cplx> h_smooth(h.size());
+  for (int i = 0; i < n; ++i) {
+    cplx acc(0, 0);
+    int cnt = 0;
+    for (int k = std::max(0, i - 1); k <= std::min(n - 1, i + 1); ++k) {
+      acc += h[static_cast<std::size_t>(k)];
+      ++cnt;
+    }
+    h_smooth[static_cast<std::size_t>(i)] = acc / static_cast<float>(cnt);
+  }
+  float noise_var = 0.0f;
+  float sig_pow = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    noise_var += std::norm(h[static_cast<std::size_t>(i)] - h_smooth[static_cast<std::size_t>(i)]);
+    sig_pow += std::norm(h_smooth[static_cast<std::size_t>(i)]);
+  }
+  noise_var = std::max(noise_var / static_cast<float>(n), 1e-7f);
+  sig_pow /= static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    if (std::norm(h_smooth[static_cast<std::size_t>(i)]) < 1e-9f) h_smooth[static_cast<std::size_t>(i)] = cplx(1e-4f, 0);
+  }
+
+  // Demodulate one symbol: equalize, pilot phase/timing fit, soft bits.
+  float ema_noise = noise_var / std::max(sig_pow, 1e-9f);  // normalized post-eq noise
+  auto demod_symbol = [&](std::size_t symbol_index, bool bpsk, std::vector<float>& soft_out) {
+    const auto y = analyze_symbol(samples, body(symbol_index));
+    std::vector<cplx> eq(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      eq[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)] / h_smooth[static_cast<std::size_t>(i)];
+    }
+    // Pilot linear-phase fit: theta(i) ~ a + b*i.
+    double sum_k = 0, sum_k2 = 0, sum_th = 0, sum_kth = 0;
+    int np = 0;
+    double prev_th = 0;
+    double amp_acc = 0;
+    for (int i = 0; i < n; ++i) {
+      if (!is_pilot(i)) continue;
+      const cplx e = eq[static_cast<std::size_t>(i)] / pilots_[static_cast<std::size_t>(i)];
+      double th = std::arg(e);
+      if (np > 0) {
+        while (th - prev_th > sonic::util::kPi) th -= sonic::util::kTwoPi;
+        while (th - prev_th < -sonic::util::kPi) th += sonic::util::kTwoPi;
+      }
+      prev_th = th;
+      amp_acc += std::abs(e);
+      sum_k += i;
+      sum_k2 += static_cast<double>(i) * i;
+      sum_th += th;
+      sum_kth += static_cast<double>(i) * th;
+      ++np;
+    }
+    double a = 0, b = 0;
+    double amp = 1.0;
+    if (np >= 2) {
+      const double det = np * sum_k2 - sum_k * sum_k;
+      if (std::fabs(det) > 1e-9) {
+        b = (np * sum_kth - sum_k * sum_th) / det;
+        a = (sum_th - b * sum_k) / np;
+      }
+      amp = std::max(amp_acc / np, 1e-6);
+    }
+    // Apply correction and collect soft bits + pilot residual noise.
+    float pilot_noise = 0;
+    int pilot_cnt = 0;
+    const int qbits = bpsk ? 1 : qam_.bits_per_symbol();
+    for (int i = 0; i < n; ++i) {
+      const double phi = a + b * i;
+      const cplx corr = eq[static_cast<std::size_t>(i)] *
+                        cplx(static_cast<float>(std::cos(-phi) / amp), static_cast<float>(std::sin(-phi) / amp));
+      if (is_pilot(i)) {
+        pilot_noise += std::norm(corr - pilots_[static_cast<std::size_t>(i)]);
+        ++pilot_cnt;
+        continue;
+      }
+      if (bpsk) {
+        const float llr1 = 2.0f * corr.real() / std::max(ema_noise * 0.5f, 1e-7f);
+        soft_out.push_back(1.0f / (1.0f + std::exp(-llr1)));
+      } else {
+        float tmp[10];
+        qam_.demap_soft(corr, ema_noise, std::span<float>(tmp, static_cast<std::size_t>(qbits)));
+        for (int bix = 0; bix < qbits; ++bix) soft_out.push_back(tmp[bix]);
+      }
+    }
+    if (pilot_cnt > 0) {
+      const float obs = pilot_noise / static_cast<float>(pilot_cnt);
+      ema_noise = 0.7f * ema_noise + 0.3f * std::max(obs, 1e-7f);
+    }
+  };
+
+  // Header.
+  std::vector<float> header_soft;
+  const std::size_t hdr_syms = header_symbols();
+  if (body(2 + hdr_syms) > samples.size()) return std::nullopt;
+  for (std::size_t s = 0; s < hdr_syms; ++s) demod_symbol(2 + s, true, header_soft);
+  const std::size_t header_bits = header_codec_.encoded_bits(8);
+  if (header_soft.size() < header_bits) return std::nullopt;
+  for (std::size_t i = 0; i < header_soft.size(); ++i) {
+    if (scrambler_bit(i)) header_soft[i] = 1.0f - header_soft[i];
+  }
+  const util::Bytes hdr = header_codec_.decode_soft(
+      std::span(header_soft).subspan(0, header_bits), 8);
+  util::ByteReader hr(hdr);
+  const std::uint16_t magic = hr.u16();
+  const std::uint16_t frame_len = hr.u16();
+  const std::uint16_t frame_count = hr.u16();
+  const std::uint16_t hcrc = hr.u16();
+  if (magic != kMagic || crc16_ccitt(std::span(hdr).subspan(0, 6)) != hcrc || frame_len == 0 ||
+      frame_count == 0) {
+    return std::nullopt;
+  }
+
+  // Payload.
+  const std::size_t nsym = payload_symbols(frame_len, frame_count);
+  std::vector<float> soft;
+  soft.reserve(nsym * static_cast<std::size_t>(profile_.data_carriers() * qam_.bits_per_symbol()));
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const std::size_t pos = body(2 + hdr_syms + s);
+    if (pos + static_cast<std::size_t>(profile_.fft_size) > samples.size()) {
+      // Truncated stream: erase the rest.
+      soft.resize(nsym * static_cast<std::size_t>(profile_.data_carriers() * qam_.bits_per_symbol()), 0.5f);
+      break;
+    }
+    demod_symbol(2 + hdr_syms + s, false, soft);
+  }
+
+  RxBurst burst;
+  burst.start_sample = sync->start;
+  burst.end_sample = std::min(samples.size(), sync->start + (2 + hdr_syms + nsym + 1) * sym);
+  burst.snr_db = static_cast<float>(-10.0 * std::log10(std::max(static_cast<double>(ema_noise), 1e-9)));
+  const std::size_t bits_per_frame = payload_codec_.encoded_bits(frame_len);
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    const std::size_t off = f * bits_per_frame;
+    if (off + bits_per_frame > soft.size()) {
+      burst.frames.push_back(std::nullopt);
+      continue;
+    }
+    burst.frames.push_back(payload_codec_.decode(std::span(soft).subspan(off, bits_per_frame), frame_len));
+  }
+  return burst;
+}
+
+std::vector<RxBurst> OfdmModem::receive_all(std::span<const float> samples) const {
+  std::vector<RxBurst> bursts;
+  std::size_t pos = 0;
+  while (pos + static_cast<std::size_t>(3 * symbol_len()) < samples.size()) {
+    auto burst = receive_one(samples, pos);
+    if (!burst) break;
+    pos = std::max(burst->end_sample, pos + 1);
+    bursts.push_back(std::move(*burst));
+  }
+  return bursts;
+}
+
+}  // namespace sonic::modem

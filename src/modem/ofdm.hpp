@@ -1,0 +1,94 @@
+// OFDM data-over-sound modem (the Quiet-library equivalent).
+//
+// Burst layout, in units of one OFDM symbol (fft_size + cp_len samples):
+//
+//   [preamble A][preamble B][header ...][payload ...][gap]
+//
+// * preamble A — PRBS QPSK on even FFT bins only, making the time waveform
+//   periodic with period fft_size/2; the receiver detects it with a
+//   Schmidl&Cox autocorrelation metric.
+// * preamble B — PRBS QPSK on every used bin; per-bin channel estimation
+//   and fine timing via cross-correlation.
+// * header — 8 bytes (magic, frame_len, frame_count, crc16), BPSK,
+//   v27 rate-1/2 coded: decodable far below the payload's SNR threshold.
+// * payload — frame_count frames of frame_len bytes, each independently
+//   CRC32 + RS + conv coded (PacketCodec), bit-interleaved, QAM-mapped
+//   across the data subcarriers. Pilot subcarriers carry fixed PRBS BPSK
+//   for per-symbol phase/timing tracking.
+//
+// Losing one OFDM symbol therefore corrupts only the frames that overlap
+// it — the per-frame loss behaviour the paper's transport relies on (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "modem/packet.hpp"
+#include "modem/profile.hpp"
+#include "util/bytes.hpp"
+
+namespace sonic::modem {
+
+// One decoded burst. frames[i] is nullopt when that frame failed FEC+CRC.
+struct RxBurst {
+  std::vector<std::optional<util::Bytes>> frames;
+  std::size_t start_sample = 0;  // first sample of the burst in the input
+  std::size_t end_sample = 0;    // one past the last sample consumed
+  float snr_db = 0.0f;           // pilot-based post-equalization SNR
+
+  std::size_t frames_ok() const;
+  double frame_loss_rate() const;
+};
+
+class OfdmModem {
+ public:
+  explicit OfdmModem(OfdmProfile profile);
+
+  const OfdmProfile& profile() const { return profile_; }
+
+  // Modulates a burst of equal-sized frames into audio samples in [-1, 1].
+  std::vector<float> modulate(const std::vector<util::Bytes>& frames) const;
+
+  // Finds and decodes the first burst at or after `from`.
+  std::optional<RxBurst> receive_one(std::span<const float> samples, std::size_t from = 0) const;
+
+  // Decodes every burst in the stream.
+  std::vector<RxBurst> receive_all(std::span<const float> samples) const;
+
+  // Samples occupied by a burst of `frame_count` frames of `frame_len` bytes.
+  std::size_t burst_samples(std::size_t frame_len, std::size_t frame_count) const;
+
+ private:
+  struct Sync {
+    std::size_t start;   // first sample of preamble A's cyclic prefix
+    float quality;       // normalized correlation in [0,1]
+  };
+
+  int symbol_len() const { return profile_.fft_size + profile_.cp_len; }
+  bool is_pilot(int rel_idx) const;
+  std::size_t header_symbols() const;
+  std::size_t payload_symbols(std::size_t frame_len, std::size_t frame_count) const;
+
+  // Synthesizes one OFDM symbol (CP + body) from per-subcarrier values
+  // indexed relative to first_bin; nullopt entries transmit silence.
+  void synth_symbol(std::span<const cplx> carriers, std::vector<float>& out) const;
+  // FFT of one symbol body at `pos`, returning used-bin values.
+  std::vector<cplx> analyze_symbol(std::span<const float> samples, std::size_t pos) const;
+
+  std::optional<Sync> find_sync(std::span<const float> samples, std::size_t from) const;
+
+  OfdmProfile profile_;
+  QamMapper qam_;
+  PacketCodec payload_codec_;
+  fec::ConvolutionalCodec header_codec_;
+  std::vector<cplx> preamble_a_;  // per-used-bin values (zeros on odd bins)
+  std::vector<cplx> preamble_b_;
+  std::vector<cplx> pilots_;      // fixed pilot values (zero on data bins)
+  std::vector<float> template_a_;  // time-domain preamble A (with CP)
+  std::vector<float> template_b_;  // time-domain preamble B (with CP)
+  float tx_gain_;
+};
+
+}  // namespace sonic::modem

@@ -1,0 +1,91 @@
+#include "modem/profile.hpp"
+
+#include <cmath>
+
+namespace sonic::modem {
+
+int OfdmProfile::num_pilots() const {
+  if (pilot_spacing <= 0) return 0;
+  return (num_subcarriers + pilot_spacing - 1) / pilot_spacing;
+}
+
+int OfdmProfile::first_bin() const {
+  const int center = static_cast<int>(std::lround(carrier_hz / sample_rate * fft_size));
+  return center - num_subcarriers / 2;
+}
+
+double OfdmProfile::raw_bit_rate() const {
+  return static_cast<double>(data_carriers()) * bits_per_symbol(constellation) / symbol_duration_s();
+}
+
+double OfdmProfile::bandwidth_hz() const {
+  return static_cast<double>(num_subcarriers) * subcarrier_spacing_hz();
+}
+
+double OfdmProfile::net_bit_rate(std::size_t payload_bytes, int frames_per_burst) const {
+  fec::ConvolutionalCodec conv(this->conv);
+  const std::size_t with_crc = payload_bytes + 4;
+  std::size_t rs_bytes = with_crc;
+  if (rs_nroots > 0) {
+    const std::size_t blocks = (with_crc + 222) / 223;
+    rs_bytes += blocks * static_cast<std::size_t>(rs_nroots);
+  }
+  const std::size_t coded_bits_per_frame = conv.encoded_bits(rs_bytes);
+  const std::size_t burst_bits = coded_bits_per_frame * static_cast<std::size_t>(frames_per_burst);
+  const int bits_per_ofdm_symbol = data_carriers() * bits_per_symbol(constellation);
+  const std::size_t payload_symbols =
+      (burst_bits + static_cast<std::size_t>(bits_per_ofdm_symbol) - 1) / static_cast<std::size_t>(bits_per_ofdm_symbol);
+  // Header: 6 bytes conv-v27-coded BPSK (see OfdmModem), plus 2 preamble
+  // symbols and one symbol of inter-burst gap.
+  const std::size_t header_bits = (6 * 8 + 6) * 2;
+  const std::size_t header_symbols = (header_bits + static_cast<std::size_t>(data_carriers()) - 1) / static_cast<std::size_t>(data_carriers());
+  const std::size_t total_symbols = 2 + header_symbols + payload_symbols + 1;
+  return static_cast<double>(payload_bytes * 8) * frames_per_burst /
+         (static_cast<double>(total_symbols) * symbol_duration_s());
+}
+
+OfdmProfile profile_sonic10k() {
+  OfdmProfile p;
+  p.name = "sonic-10k";
+  p.constellation = Constellation::kQam64;
+  p.conv = {fec::ConvCode::kV29, fec::PunctureRate::kRate3_4};
+  p.rs_nroots = 16;
+  return p;
+}
+
+OfdmProfile profile_audible7k() {
+  OfdmProfile p;
+  p.name = "audible-7k";
+  p.constellation = Constellation::kQam16;
+  p.conv = {fec::ConvCode::kV29, fec::PunctureRate::kRate3_4};
+  p.rs_nroots = 16;
+  return p;
+}
+
+OfdmProfile profile_robust2k() {
+  OfdmProfile p;
+  p.name = "robust-2k";
+  p.constellation = Constellation::kQpsk;
+  p.conv = {fec::ConvCode::kV29, fec::PunctureRate::kRate1_2};
+  p.rs_nroots = 32;
+  return p;
+}
+
+OfdmProfile profile_cable64k() {
+  OfdmProfile p;
+  p.name = "cable-64k";
+  p.fft_size = 1024;
+  p.cp_len = 16;                 // cable: no multipath, minimal guard
+  p.num_subcarriers = 256;
+  p.carrier_hz = 8000.0;         // spans ~2.5-13.5 kHz
+  p.constellation = Constellation::kQam1024;
+  p.conv = {fec::ConvCode::kV29, fec::PunctureRate::kRate3_4};
+  p.rs_nroots = 16;
+  return p;
+}
+
+std::vector<OfdmProfile> all_profiles() {
+  return {profile_robust2k(), profile_audible7k(), profile_sonic10k(), profile_cable64k()};
+}
+
+}  // namespace sonic::modem

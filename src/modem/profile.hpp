@@ -1,0 +1,59 @@
+// Transmission profiles — the counterpart of Quiet's JSON profile files.
+// The paper builds a new profile "inspired by audible-7k-channel" using OFDM
+// with 92 subcarriers, CRC32, inner conv v29 and outer RS, reaching 10 kbps
+// (§3.3). profile_sonic10k() reproduces that operating point; the others
+// provide the comparison rungs used by the benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fec/convolutional.hpp"
+#include "modem/qam.hpp"
+
+namespace sonic::modem {
+
+struct OfdmProfile {
+  std::string name = "custom";
+  double sample_rate = 44100.0;
+  int fft_size = 1024;
+  int cp_len = 64;
+  int num_subcarriers = 92;     // total, pilots included
+  double carrier_hz = 9200.0;   // paper §4: mono-channel carrier at 9.2 kHz
+  int pilot_spacing = 8;        // every Nth subcarrier is a pilot tone
+  Constellation constellation = Constellation::kQam64;
+  fec::ConvSpec conv{fec::ConvCode::kV29, fec::PunctureRate::kRate3_4};
+  int rs_nroots = 32;           // 0 disables the outer code
+  float amplitude = 0.25f;      // output RMS target (1.0 = full scale)
+
+  int num_pilots() const;
+  int data_carriers() const { return num_subcarriers - num_pilots(); }
+  double symbol_duration_s() const { return static_cast<double>(fft_size + cp_len) / sample_rate; }
+  // Carrier bin of the first subcarrier.
+  int first_bin() const;
+
+  // Uncoded PHY bit rate (data carriers only).
+  double raw_bit_rate() const;
+  // Net payload rate when bursts carry `frames_per_burst` frames of
+  // `payload_bytes` each (every frame individually CRC32+RS+conv coded per
+  // §3.3), including header and preamble overhead.
+  double net_bit_rate(std::size_t payload_bytes = 100, int frames_per_burst = 16) const;
+
+  // Audio bandwidth occupied by the subcarriers.
+  double bandwidth_hz() const;
+  double subcarrier_spacing_hz() const { return sample_rate / fft_size; }
+};
+
+// The paper's profile: ≈10 kbps net over the FM mono channel.
+OfdmProfile profile_sonic10k();
+// A Quiet "audible-7k-channel"-like rung: 16-QAM, rate-1/2.
+OfdmProfile profile_audible7k();
+// Very robust low-rate rung for weak receivers: QPSK, rate-1/2, RS-heavy.
+OfdmProfile profile_robust2k();
+// Audio-jack profile mirroring Quiet's 64 kbps cable claim: wideband,
+// dense constellation (cable has no acoustic distortion).
+OfdmProfile profile_cable64k();
+
+std::vector<OfdmProfile> all_profiles();
+
+}  // namespace sonic::modem

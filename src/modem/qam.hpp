@@ -1,0 +1,65 @@
+// Gray-coded square QAM constellations (BPSK through 1024-QAM) with
+// soft-decision demapping. Quiet exposes the same family for its audible
+// profiles; the paper's transmission profile is an OFDM variant of
+// "audible-7k-channel" (§3.3), and 1024-QAM mirrors Quiet's cable profiles.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sonic::modem {
+
+using cplx = std::complex<float>;
+
+enum class Constellation : int {
+  kBpsk = 2,
+  kQpsk = 4,
+  kQam16 = 16,
+  kQam64 = 64,
+  kQam256 = 256,
+  kQam1024 = 1024,
+};
+
+// Bits carried by one symbol of the given constellation.
+int bits_per_symbol(Constellation c);
+
+const char* constellation_name(Constellation c);
+
+class QamMapper {
+ public:
+  explicit QamMapper(Constellation c);
+
+  Constellation constellation() const { return constellation_; }
+  int bits_per_symbol() const { return bits_; }
+
+  // Maps `bits_` bits (MSB-first within the value) to a unit-average-energy
+  // constellation point.
+  cplx map(std::uint32_t bits) const;
+
+  // Soft demap: fills `soft_out` (size bits_per_symbol()) with P(bit == 1)
+  // estimates given AWGN of variance `noise_var` per complex dimension.
+  // Max-log approximation.
+  void demap_soft(cplx received, float noise_var, std::span<float> soft_out) const;
+
+  // Hard demap: nearest constellation point, returns its bit label.
+  std::uint32_t demap_hard(cplx received) const;
+
+  // Minimum distance between constellation points (for SNR analysis).
+  float min_distance() const { return min_dist_; }
+
+ private:
+  Constellation constellation_;
+  int bits_;
+  int axis_bits_;                  // bits per I/Q axis (square QAM)
+  std::vector<float> levels_;      // per-axis amplitude levels, Gray order index
+  std::vector<cplx> points_;       // indexed by bit label
+  float min_dist_;
+
+  // Per-axis helpers: Gray-coded level index <-> amplitude.
+  float axis_map(std::uint32_t gray_bits) const;
+  void axis_demap_soft(float r, float noise_var, std::span<float> soft_out) const;
+};
+
+}  // namespace sonic::modem

@@ -1,0 +1,141 @@
+#include "sms/sms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sonic::sms {
+
+int sms_segment_count(const std::string& body) {
+  if (body.empty()) return 1;
+  if (body.size() <= 160) return 1;
+  return static_cast<int>((body.size() + 152) / 153);
+}
+
+SmsGateway::SmsGateway(SmsGatewayParams params) : params_(params), rng_(params.seed) {}
+
+bool SmsGateway::send(SmsMessage msg, double now_s) {
+  segments_carried_ += sms_segment_count(msg.body);
+  if (rng_.bernoulli(params_.loss_rate)) return false;
+  msg.sent_at_s = now_s;
+  // Latency: mean + positive-skew jitter, never below 0.5 s.
+  const double jitter = std::fabs(rng_.normal(0.0, params_.latency_jitter_s));
+  msg.deliver_at_s = now_s + std::max(0.5, params_.latency_mean_s + jitter - params_.latency_jitter_s / 2);
+  queue_.push_back(std::move(msg));
+  return true;
+}
+
+std::vector<SmsMessage> SmsGateway::deliver_due(const std::string& to, double now_s) {
+  std::vector<SmsMessage> out;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->to == to && it->deliver_at_s <= now_s) {
+      out.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SmsMessage& a, const SmsMessage& b) { return a.deliver_at_s < b.deliver_at_s; });
+  return out;
+}
+
+// Wire format: compact, single-segment-friendly text.
+//   request: "SONIC GET <url> @<lat>,<lon>"
+//   ack:     "SONIC ACK <url> ETA <sec>s FM <mhz>" | "SONIC NACK <url> <reason>"
+
+std::string encode_request(const PageRequest& req) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "SONIC GET %s @%.4f,%.4f", req.url.c_str(), req.lat, req.lon);
+  return buf;
+}
+
+std::optional<PageRequest> parse_request(const std::string& body) {
+  if (body.rfind("SONIC GET ", 0) != 0) return std::nullopt;
+  const std::string rest = body.substr(10);
+  const auto at = rest.rfind(" @");
+  if (at == std::string::npos) return std::nullopt;
+  PageRequest req;
+  req.url = rest.substr(0, at);
+  if (req.url.empty()) return std::nullopt;
+  const std::string coords = rest.substr(at + 2);
+  const auto comma = coords.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  try {
+    req.lat = std::stod(coords.substr(0, comma));
+    req.lon = std::stod(coords.substr(comma + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string encode_query(const QueryRequest& req) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "SONIC ASK %s @%.4f,%.4f", req.query.c_str(), req.lat, req.lon);
+  return buf;
+}
+
+std::optional<QueryRequest> parse_query(const std::string& body) {
+  if (body.rfind("SONIC ASK ", 0) != 0) return std::nullopt;
+  const std::string rest = body.substr(10);
+  const auto at = rest.rfind(" @");
+  if (at == std::string::npos) return std::nullopt;
+  QueryRequest req;
+  req.query = rest.substr(0, at);
+  if (req.query.empty()) return std::nullopt;
+  const std::string coords = rest.substr(at + 2);
+  const auto comma = coords.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  try {
+    req.lat = std::stod(coords.substr(0, comma));
+    req.lon = std::stod(coords.substr(comma + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string encode_ack(const RequestAck& ack) {
+  char buf[256];
+  if (ack.accepted) {
+    std::snprintf(buf, sizeof(buf), "SONIC ACK %s ETA %.0fs FM %.1f", ack.url.c_str(), ack.eta_s,
+                  ack.frequency_mhz);
+  } else {
+    std::snprintf(buf, sizeof(buf), "SONIC NACK %s %s", ack.url.c_str(), ack.reason.c_str());
+  }
+  return buf;
+}
+
+std::optional<RequestAck> parse_ack(const std::string& body) {
+  RequestAck ack;
+  if (body.rfind("SONIC ACK ", 0) == 0) {
+    ack.accepted = true;
+    const std::string rest = body.substr(10);
+    const auto eta_pos = rest.find(" ETA ");
+    const auto fm_pos = rest.find("s FM ");
+    if (eta_pos == std::string::npos || fm_pos == std::string::npos || fm_pos < eta_pos)
+      return std::nullopt;
+    ack.url = rest.substr(0, eta_pos);
+    try {
+      ack.eta_s = std::stod(rest.substr(eta_pos + 5, fm_pos - eta_pos - 5));
+      ack.frequency_mhz = std::stod(rest.substr(fm_pos + 5));
+    } catch (...) {
+      return std::nullopt;
+    }
+    return ack;
+  }
+  if (body.rfind("SONIC NACK ", 0) == 0) {
+    ack.accepted = false;
+    const std::string rest = body.substr(11);
+    const auto space = rest.find(' ');
+    ack.url = space == std::string::npos ? rest : rest.substr(0, space);
+    ack.reason = space == std::string::npos ? "" : rest.substr(space + 1);
+    if (ack.url.empty()) return std::nullopt;
+    return ack;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sonic::sms

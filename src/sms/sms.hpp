@@ -1,0 +1,97 @@
+// SMS network simulation — SONIC's uplink (§3.1).
+//
+// User-C requests webpages by texting a SONIC number; the server ACKs with
+// an ETA. The simulation models what matters to SONIC: store-and-forward
+// delivery latency (seconds), occasional message loss, and the 160-char
+// GSM-7 segment economics that make SMS a viable but narrow uplink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sonic::sms {
+
+struct SmsMessage {
+  std::string from;
+  std::string to;
+  std::string body;
+  double sent_at_s = 0.0;
+  double deliver_at_s = 0.0;  // filled by the gateway
+};
+
+// Number of 160-char segments the body consumes (the billing unit);
+// multi-segment messages use 153-char segments per GSM UDH rules.
+int sms_segment_count(const std::string& body);
+
+struct SmsGatewayParams {
+  double latency_mean_s = 4.0;    // typical carrier store-and-forward delay
+  double latency_jitter_s = 2.0;  // lognormal-ish spread
+  double loss_rate = 0.005;       // silently dropped messages
+  std::uint64_t seed = 7;
+};
+
+// Discrete-event SMS carrier: send() stamps a delivery time; deliver_due()
+// drains messages for one recipient whose time has come.
+class SmsGateway {
+ public:
+  explicit SmsGateway(SmsGatewayParams params);
+
+  // Returns false if the message was lost in the network.
+  bool send(SmsMessage msg, double now_s);
+
+  std::vector<SmsMessage> deliver_due(const std::string& to, double now_s);
+
+  std::size_t in_flight() const { return queue_.size(); }
+  int segments_carried() const { return segments_carried_; }
+
+ private:
+  SmsGatewayParams params_;
+  sonic::util::Rng rng_;
+  std::deque<SmsMessage> queue_;
+  int segments_carried_ = 0;
+};
+
+// ---- SONIC request/ACK wire format (§3.1) ---------------------------------
+
+// "Each request contains the URL ... and the geographic location of the
+// user" — the location routes the request to the right FM transmitter.
+struct PageRequest {
+  std::string url;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+std::string encode_request(const PageRequest& req);
+std::optional<PageRequest> parse_request(const std::string& body);
+
+// Search / chatbot queries (§3.1: uplink users "can ... send queries to
+// search engines (e.g., Google and Duckduckgo) and AI chatbots").
+struct QueryRequest {
+  std::string query;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+std::string encode_query(const QueryRequest& req);
+std::optional<QueryRequest> parse_query(const std::string& body);
+
+// The server "quickly responds to the user via SMS to acknowledge the
+// request, and provide an estimate on when the page will be received",
+// plus the broadcast frequency the client should tune to.
+struct RequestAck {
+  std::string url;
+  double eta_s = 0.0;
+  double frequency_mhz = 0.0;
+  bool accepted = true;
+  std::string reason;  // set when rejected (unknown page, no coverage...)
+};
+
+std::string encode_ack(const RequestAck& ack);
+std::optional<RequestAck> parse_ack(const std::string& body);
+
+}  // namespace sonic::sms

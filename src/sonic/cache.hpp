@@ -1,0 +1,50 @@
+// Client-side page cache and catalog (§3.1): received pages are stored
+// "with expiration date set according to a time indicated by the server";
+// the SONIC app "shows a catalog of available webpages".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sonic/framing.hpp"
+
+namespace sonic::core {
+
+struct CatalogEntry {
+  std::string url;
+  double received_at_s = 0.0;
+  double expires_at_s = 0.0;
+  double coverage = 0.0;  // delivery completeness, a quality hint in the UI
+};
+
+class PageCache {
+ public:
+  // max_pages bounds memory on the low-end device; the oldest entry is
+  // evicted first (0 = unbounded).
+  explicit PageCache(std::size_t max_pages = 64);
+
+  void put(ReceivedPage page, double now_s);
+
+  // Returns nullptr when absent or expired (and lazily evicts the expired
+  // entry). The const overload only peeks.
+  const ReceivedPage* get(const std::string& url, double now_s);
+  const ReceivedPage* get(const std::string& url, double now_s) const;
+
+  std::vector<CatalogEntry> catalog(double now_s) const;
+
+  void evict_expired(double now_s);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ReceivedPage page;
+    double received_at_s = 0.0;
+    double expires_at_s = 0.0;
+  };
+  std::size_t max_pages_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sonic::core

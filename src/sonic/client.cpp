@@ -1,0 +1,84 @@
+#include "sonic/client.hpp"
+
+namespace sonic::core {
+
+SonicClient::SonicClient(sms::SmsGateway* gateway, Params params)
+    : gateway_(gateway), params_(std::move(params)), cache_(params_.cache_pages) {}
+
+void SonicClient::on_frame(std::span<const std::uint8_t> frame) {
+  assembler_.push(frame);
+  ++frames_received_;
+}
+
+void SonicClient::on_burst(const modem::RxBurst& burst) {
+  for (const auto& frame : burst.frames) {
+    if (frame.has_value()) on_frame(*frame);
+  }
+}
+
+std::vector<std::string> SonicClient::flush(double now_s) {
+  std::vector<std::string> cached;
+  for (std::uint32_t page_id : assembler_.known_pages()) {
+    auto page = assembler_.assemble(page_id, params_.interpolation);
+    assembler_.drop(page_id);
+    if (!page) continue;
+    cached.push_back(page->metadata.url);
+    cache_.put(std::move(*page), now_s);
+  }
+  return cached;
+}
+
+std::optional<web::RenderResult> SonicClient::open(const std::string& url, double now_s) {
+  const ReceivedPage* page = cache_.get(url, now_s);
+  if (!page) return std::nullopt;
+  web::RenderResult full;
+  full.image = page->image;
+  full.click_map = page->metadata.click_map;
+  full.full_height = page->metadata.height;
+  return web::scale_for_device(full, params_.device_width);
+}
+
+SonicClient::TapResult SonicClient::request(const std::string& url, double now_s) {
+  if (cache_.get(url, now_s) != nullptr) return TapResult::kOpenedCached;
+  if (!has_uplink()) return TapResult::kNoUplink;
+  sms::PageRequest req{url, params_.lat, params_.lon};
+  gateway_->send({params_.phone_number, params_.server_number, sms::encode_request(req), now_s, 0},
+                 now_s);
+  return TapResult::kRequestedViaSms;
+}
+
+SonicClient::TapResult SonicClient::ask(const std::string& query, double now_s) {
+  const std::string url = "search:" + query;
+  if (cache_.get(url, now_s) != nullptr) return TapResult::kOpenedCached;
+  if (!has_uplink()) return TapResult::kNoUplink;
+  sms::QueryRequest req{query, params_.lat, params_.lon};
+  gateway_->send({params_.phone_number, params_.server_number, sms::encode_query(req), now_s, 0},
+                 now_s);
+  return TapResult::kRequestedViaSms;
+}
+
+SonicClient::TapResult SonicClient::tap(const std::string& current_url, int device_x, int device_y,
+                                        double now_s) {
+  const ReceivedPage* page = cache_.get(current_url, now_s);
+  if (!page) return TapResult::kNoLink;
+  // Map device coordinates back to the transmitted resolution (§3.2: click
+  // map coordinates scale with the image).
+  const double factor = static_cast<double>(page->metadata.width) / params_.device_width;
+  const int px = static_cast<int>(device_x * factor);
+  const int py = static_cast<int>(device_y * factor);
+  const std::string href = web::hit_test(page->metadata.click_map, px, py);
+  if (href.empty()) return TapResult::kNoLink;
+  return request(href, now_s);
+}
+
+std::vector<sms::RequestAck> SonicClient::poll_acks(double now_s) {
+  std::vector<sms::RequestAck> acks;
+  if (!has_uplink()) return acks;
+  for (const sms::SmsMessage& msg : gateway_->deliver_due(params_.phone_number, now_s)) {
+    const auto ack = sms::parse_ack(msg.body);
+    if (ack) acks.push_back(*ack);
+  }
+  return acks;
+}
+
+}  // namespace sonic::core

@@ -1,0 +1,89 @@
+// SONIC client (§3.1): the user-space application on the phone. Receives
+// frames from the FM downlink, reassembles pages into a cache with
+// server-set expiry, exposes the catalog, renders pages scaled to the
+// device, and navigates hyperlinks through the click map — instantly when
+// the target is cached, via an SMS request when an uplink is available.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "image/interpolate.hpp"
+#include "modem/ofdm.hpp"
+#include "sms/sms.hpp"
+#include "sonic/cache.hpp"
+#include "sonic/framing.hpp"
+
+namespace sonic::core {
+
+class SonicClient {
+ public:
+  struct Params {
+    std::string phone_number;          // empty = downlink-only user (A/B in Fig. 3)
+    std::string server_number = "+92-SONIC";
+    double lat = 0.0;
+    double lon = 0.0;
+    int device_width = 360;            // Xiaomi Redmi Go class screen
+    image::InterpolationMode interpolation = image::InterpolationMode::kLeft;
+    std::size_t cache_pages = 64;
+  };
+
+  // `gateway` may be null for downlink-only users.
+  SonicClient(sms::SmsGateway* gateway, Params params);
+
+  bool has_uplink() const { return gateway_ != nullptr && !params_.phone_number.empty(); }
+
+  // ---- downlink -----------------------------------------------------------
+
+  // Feed raw 100-byte frames (already FEC-validated); lost frames simply
+  // never arrive.
+  void on_frame(std::span<const std::uint8_t> frame);
+
+  // Feed a whole modem burst (nullopt slots = frames lost to FEC/CRC).
+  void on_burst(const modem::RxBurst& burst);
+
+  // Moves every fully- or partially-received page into the cache (called
+  // when a broadcast window ends). Returns the URLs cached.
+  std::vector<std::string> flush(double now_s);
+
+  // ---- browsing -----------------------------------------------------------
+
+  std::vector<CatalogEntry> catalog(double now_s) const { return cache_.catalog(now_s); }
+
+  // Page scaled for this device (§3.2 scaling factor), or nullopt if not
+  // cached / expired.
+  std::optional<web::RenderResult> open(const std::string& url, double now_s);
+
+  enum class TapResult {
+    kNoLink,          // nothing clickable at those coordinates
+    kOpenedCached,    // target was in the cache: instant load (§3.1)
+    kRequestedViaSms, // uplink request sent; watch for the ACK
+    kNoUplink,        // user has no SMS service (users A/B)
+  };
+
+  // Tap at device coordinates within `current_url`'s page.
+  TapResult tap(const std::string& current_url, int device_x, int device_y, double now_s);
+
+  // Explicit page request (catalog search, address bar).
+  TapResult request(const std::string& url, double now_s);
+
+  // Search-engine / chatbot query (§3.1). The results page is broadcast
+  // under "search:<query>" and lands in the cache like any page.
+  TapResult ask(const std::string& query, double now_s);
+
+  // Delivered server ACKs/NACKs.
+  std::vector<sms::RequestAck> poll_acks(double now_s);
+
+  const PageCache& cache() const { return cache_; }
+  std::size_t frames_received() const { return frames_received_; }
+
+ private:
+  sms::SmsGateway* gateway_;
+  Params params_;
+  PageAssembler assembler_;
+  PageCache cache_;
+  std::size_t frames_received_ = 0;
+};
+
+}  // namespace sonic::core

@@ -1,0 +1,130 @@
+// SONIC page transport framing (§3.3).
+//
+// A rendered page becomes a sequence of fixed-size 100-byte frames:
+//
+//   [page_id u32][seq u16][total u16][type u8][payload ...]
+//
+// * type 0 (metadata): url, dimensions, codec quality, expiry, click map —
+//   serialized once and chunked across as many frames as needed. Metadata
+//   frames are transmitted twice: losing the page geometry would make every
+//   segment frame useless, so they get cheap repetition redundancy.
+// * type 1 (segment): one per-column segment from the resilient column
+//   codec. Losing one blanks a bounded run of rows in one column.
+//
+// Integrity per frame is provided by the modem's PacketCodec
+// (crc32 + v29 + rs8); a frame either arrives intact or not at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "image/column_codec.hpp"
+#include "image/interpolate.hpp"
+#include "web/layout.hpp"
+
+namespace sonic::core {
+
+constexpr std::size_t kFrameSize = 100;  // §3.3: "fixed-sized frames of 100 bytes"
+constexpr std::size_t kFrameHeaderSize = 10;  // page_id + seq + total + type + payload_len
+constexpr std::size_t kFramePayloadSize = kFrameSize - kFrameHeaderSize;
+
+struct FrameHeader {
+  std::uint32_t page_id = 0;
+  std::uint16_t seq = 0;
+  std::uint16_t total = 0;
+  std::uint8_t type = 0;  // 0 = metadata, 1 = segment
+};
+
+struct PageMetadata {
+  std::string url;
+  int width = 0;
+  int height = 0;
+  int quality = 10;
+  std::uint32_t expiry_s = 24 * 3600;  // server-set cache lifetime (§3.1)
+  std::vector<web::ClickRegion> click_map;
+};
+
+// A page prepared for broadcast.
+struct PageBundle {
+  std::uint32_t page_id = 0;
+  PageMetadata metadata;
+  std::vector<util::Bytes> frames;  // every frame exactly kFrameSize bytes
+  std::size_t total_bytes() const { return frames.size() * kFrameSize; }
+};
+
+// Unequal error protection (the §4 "dynamic scheme with higher error
+// protection for important parts of an image/webpage" the paper leaves as
+// an optimization): segments overlapping the top `top_fraction` of the page
+// — title, masthead, first headline — are transmitted `copies` times.
+// Repetition at the frame level composes with the per-frame FEC and needs
+// no receiver changes (the assembler dedups).
+struct UepPolicy {
+  bool enabled = false;
+  double top_fraction = 0.2;
+  int copies = 2;
+};
+
+// Builds the frame sequence for a rendered page.
+PageBundle make_bundle(std::uint32_t page_id, const std::string& url,
+                       const web::RenderResult& page, const image::ColumnCodecParams& codec,
+                       std::uint32_t expiry_s = 24 * 3600, const UepPolicy& uep = {});
+
+// A page reconstructed from whichever frames arrived.
+struct ReceivedPage {
+  PageMetadata metadata;
+  image::Raster image;
+  std::vector<std::uint8_t> mask;  // per-pixel received flags (before interpolation)
+  double coverage = 0.0;           // fraction of pixels received
+  std::size_t frames_received = 0;
+  std::size_t frames_expected = 0;
+
+  double frame_loss_rate() const {
+    if (frames_expected == 0) return 0.0;
+    return 1.0 - static_cast<double>(frames_received) / static_cast<double>(frames_expected);
+  }
+};
+
+// Reassembles pages from frames as they arrive (possibly out of order,
+// possibly with losses and duplicates).
+class PageAssembler {
+ public:
+  explicit PageAssembler(image::ColumnCodecParams codec = {});
+
+  // Feed one received frame (already FEC/CRC-validated by the modem).
+  void push(std::span<const std::uint8_t> frame);
+
+  // True once every frame of `page_id` was seen.
+  bool complete(std::uint32_t page_id) const;
+
+  // Reconstructs a page from whatever has arrived so far. `interpolate`
+  // applies the §3.3 nearest-neighbor recovery to missing pixels. Returns
+  // nullopt if no metadata frame has arrived (geometry unknown).
+  std::optional<ReceivedPage> assemble(std::uint32_t page_id,
+                                       image::InterpolationMode mode) const;
+
+  std::vector<std::uint32_t> known_pages() const;
+  void drop(std::uint32_t page_id);
+
+ private:
+  struct Partial {
+    std::uint16_t total = 0;
+    std::vector<std::optional<util::Bytes>> payloads;  // by seq
+  };
+  image::ColumnCodecParams codec_;
+  std::map<std::uint32_t, Partial> pages_;
+};
+
+// Frame header (de)serialization; payload is padded to kFrameSize.
+util::Bytes serialize_frame(const FrameHeader& header, std::span<const std::uint8_t> payload);
+std::optional<std::pair<FrameHeader, util::Bytes>> parse_frame(std::span<const std::uint8_t> frame);
+
+// Metadata blob (de)serialization.
+util::Bytes serialize_metadata(const PageMetadata& metadata);
+std::optional<PageMetadata> parse_metadata(std::span<const std::uint8_t> blob);
+
+}  // namespace sonic::core

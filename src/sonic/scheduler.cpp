@@ -1,0 +1,64 @@
+#include "sonic/scheduler.hpp"
+
+#include <algorithm>
+
+namespace sonic::core {
+
+BroadcastScheduler::BroadcastScheduler(Params params) : params_(params) {}
+
+void BroadcastScheduler::enqueue(std::string url, std::size_t bytes, double now_s, int priority) {
+  advance(std::max(now_s, now_s_));
+  ScheduledItem item;
+  item.url = std::move(url);
+  item.bytes = bytes;
+  item.enqueued_at_s = now_s;
+  item.priority = priority;
+  // Insert after the last item with >= priority (stable priority FIFO).
+  // Never preempt the in-flight head.
+  auto pos = queue_.begin();
+  if (pos != queue_.end()) ++pos;  // skip head if transmitting
+  if (queue_.empty()) {
+    queue_.push_back(std::move(item));
+    head_remaining_bytes_ = static_cast<double>(queue_.front().bytes);
+    return;
+  }
+  while (pos != queue_.end() && pos->priority >= item.priority) ++pos;
+  queue_.insert(pos, std::move(item));
+}
+
+std::vector<ScheduledItem> BroadcastScheduler::advance(double until_s) {
+  std::vector<ScheduledItem> done;
+  if (until_s <= now_s_) return done;
+  double budget_bytes = (until_s - now_s_) * aggregate_rate_bps() / 8.0;
+  double clock = now_s_;
+  while (!queue_.empty() && budget_bytes > 0) {
+    if (head_remaining_bytes_ <= 0) head_remaining_bytes_ = static_cast<double>(queue_.front().bytes);
+    const double chunk = std::min(budget_bytes, head_remaining_bytes_);
+    head_remaining_bytes_ -= chunk;
+    budget_bytes -= chunk;
+    clock += chunk * 8.0 / aggregate_rate_bps();
+    if (head_remaining_bytes_ <= 1e-9) {
+      ScheduledItem item = std::move(queue_.front());
+      queue_.pop_front();
+      item.completed_at_s = clock;
+      done.push_back(std::move(item));
+      head_remaining_bytes_ = queue_.empty() ? 0.0 : static_cast<double>(queue_.front().bytes);
+    }
+  }
+  now_s_ = until_s;
+  return done;
+}
+
+double BroadcastScheduler::backlog_bytes() const {
+  double total = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    total += i == 0 ? head_remaining_bytes_ : static_cast<double>(queue_[i].bytes);
+  }
+  return total;
+}
+
+double BroadcastScheduler::eta_s(std::size_t bytes) const {
+  return (backlog_bytes() + static_cast<double>(bytes)) * 8.0 / aggregate_rate_bps();
+}
+
+}  // namespace sonic::core

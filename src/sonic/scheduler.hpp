@@ -1,0 +1,57 @@
+// Broadcast scheduler — the server-side queue whose backlog dynamics are
+// Figure 4(c). Pages to broadcast (hourly re-renders of the popular catalog
+// plus user requests) accumulate in a priority FIFO and drain at the
+// transmission rate; multiple frequencies multiply the drain rate (§4:
+// "20 and 40 kbps can be achieved via multi-frequency").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sonic::core {
+
+struct ScheduledItem {
+  std::string url;
+  std::size_t bytes = 0;
+  double enqueued_at_s = 0.0;
+  int priority = 0;  // higher first; user requests outrank refreshes
+  double completed_at_s = 0.0;
+};
+
+class BroadcastScheduler {
+ public:
+  struct Params {
+    double rate_bps = 10000.0;  // per frequency
+    int num_frequencies = 1;
+  };
+
+  explicit BroadcastScheduler(Params params);
+
+  void enqueue(std::string url, std::size_t bytes, double now_s, int priority = 0);
+
+  // Advances the wall clock, draining the queue at the aggregate rate.
+  // Returns items whose transmission completed in (previous now, until_s].
+  std::vector<ScheduledItem> advance(double until_s);
+
+  // Bytes still waiting (including the in-flight remainder) — the Fig. 4(c)
+  // "Data to Broadcast" series.
+  double backlog_bytes() const;
+
+  // Estimated completion time for a new item of `bytes`, as promised in the
+  // SMS ACK (§3.1).
+  double eta_s(std::size_t bytes) const;
+
+  double aggregate_rate_bps() const { return params_.rate_bps * params_.num_frequencies; }
+  double now() const { return now_s_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+ private:
+  Params params_;
+  double now_s_ = 0.0;
+  std::deque<ScheduledItem> queue_;  // kept sorted: priority desc, then FIFO
+  double head_remaining_bytes_ = 0.0;
+};
+
+}  // namespace sonic::core

@@ -1,0 +1,137 @@
+#include "sonic/server.hpp"
+
+#include <cmath>
+
+namespace sonic::core {
+namespace {
+
+// Rough great-circle distance; fine at city scale.
+double distance_km(double lat1, double lon1, double lat2, double lon2) {
+  const double kKmPerDegree = 111.32;
+  const double dlat = (lat1 - lat2) * kKmPerDegree;
+  const double dlon = (lon1 - lon2) * kKmPerDegree * std::cos(lat1 * 3.14159265 / 180.0);
+  return std::sqrt(dlat * dlat + dlon * dlon);
+}
+
+}  // namespace
+
+SonicServer::SonicServer(const web::PkCorpus* corpus, sms::SmsGateway* gateway, Params params)
+    : corpus_(corpus),
+      gateway_(gateway),
+      params_(std::move(params)),
+      scheduler_({params_.rate_bps, params_.num_frequencies}) {}
+
+const Transmitter* SonicServer::route(double lat, double lon) const {
+  const Transmitter* best = nullptr;
+  double best_dist = 1e18;
+  for (const Transmitter& t : params_.transmitters) {
+    const double d = distance_km(lat, lon, t.lat, t.lon);
+    if (d <= t.range_km && d < best_dist) {
+      best = &t;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+const PageBundle* SonicServer::bundle_for(const std::string& url, double now_s) {
+  const int epoch = static_cast<int>(now_s / 3600.0);
+  if (url.rfind("search:", 0) == 0) {
+    // Search results page: regenerated when the underlying results rotate
+    // (every 6 hours in the corpus model).
+    const std::string query = url.substr(7);
+    const int version = epoch / 6;
+    auto it = render_cache_.find(url);
+    if (it != render_cache_.end() && it->second.version == version) {
+      ++cache_hits_;
+      return &it->second.bundle;
+    }
+    ++renders_;
+    const auto page = web::render_html(corpus_->search_html(query, epoch), params_.layout);
+    RenderedPage rendered;
+    rendered.version = version;
+    rendered.bundle = make_bundle(next_page_id_++, url, page, params_.codec, params_.page_expiry_s);
+    auto [slot, inserted] = render_cache_.insert_or_assign(url, std::move(rendered));
+    (void)inserted;
+    return &slot->second.bundle;
+  }
+
+  const web::PageRef* ref = corpus_->find(url);
+  if (!ref) return nullptr;
+  const int version = corpus_->version(*ref, epoch);
+  auto it = render_cache_.find(ref->url);
+  if (it != render_cache_.end() && it->second.version == version) {
+    // §3.1: "either from its cache, e.g., if recently requested by another
+    // user, or by directly accessing it".
+    ++cache_hits_;
+    return &it->second.bundle;
+  }
+  ++renders_;
+  const auto page = web::render_html(corpus_->html(*ref, epoch), params_.layout);
+  RenderedPage rendered;
+  rendered.version = version;
+  rendered.bundle = make_bundle(next_page_id_++, ref->url, page, params_.codec, params_.page_expiry_s);
+  auto [slot, inserted] = render_cache_.insert_or_assign(ref->url, std::move(rendered));
+  (void)inserted;
+  return &slot->second.bundle;
+}
+
+void SonicServer::poll_sms(double now_s) {
+  for (const sms::SmsMessage& msg : gateway_->deliver_due(params_.phone_number, now_s)) {
+    auto request = sms::parse_request(msg.body);
+    if (!request) {
+      // Search queries map onto the same flow under a synthetic URL.
+      if (const auto query = sms::parse_query(msg.body)) {
+        request = sms::PageRequest{"search:" + query->query, query->lat, query->lon};
+      }
+    }
+    if (!request) continue;
+    sms::RequestAck ack;
+    ack.url = request->url;
+
+    const Transmitter* tx = route(request->lat, request->lon);
+    if (!tx) {
+      ack.accepted = false;
+      ack.reason = "no-coverage";
+    } else if (const PageBundle* bundle = bundle_for(request->url, now_s)) {
+      ack.accepted = true;
+      ack.frequency_mhz = tx->frequency_mhz;
+      ack.eta_s = scheduler_.eta_s(bundle->total_bytes());
+      scheduler_.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
+      pending_route_[bundle->metadata.url] = *tx;
+    } else {
+      ack.accepted = false;
+      ack.reason = "unknown-page";
+    }
+    gateway_->send({params_.phone_number, msg.from, sms::encode_ack(ack), now_s, 0}, now_s);
+  }
+}
+
+int SonicServer::push_pages(const std::vector<std::string>& urls, double now_s, int priority) {
+  int enqueued = 0;
+  for (const std::string& url : urls) {
+    const PageBundle* bundle = bundle_for(url, now_s);
+    if (!bundle) continue;
+    scheduler_.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, priority);
+    if (!params_.transmitters.empty()) pending_route_[bundle->metadata.url] = params_.transmitters.front();
+    ++enqueued;
+  }
+  return enqueued;
+}
+
+std::vector<CompletedBroadcast> SonicServer::advance(double now_s) {
+  std::vector<CompletedBroadcast> out;
+  for (ScheduledItem& item : scheduler_.advance(now_s)) {
+    const auto cached = render_cache_.find(item.url);
+    if (cached == render_cache_.end()) continue;
+    CompletedBroadcast done;
+    const auto routed = pending_route_.find(item.url);
+    done.transmitter = routed != pending_route_.end() ? routed->second : params_.transmitters.front();
+    done.bundle = cached->second.bundle;
+    done.completed_at_s = item.completed_at_s;
+    out.push_back(std::move(done));
+  }
+  return out;
+}
+
+}  // namespace sonic::core

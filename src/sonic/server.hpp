@@ -1,0 +1,97 @@
+// SONIC server (§3.1): accepts SMS page requests, renders simplified
+// webpages, routes them to the FM transmitter covering the requester, and
+// drives the broadcast schedule (user requests + preemptive popular-page
+// pushes). The "web" it fetches from is the synthetic corpus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "image/column_codec.hpp"
+#include "sms/sms.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/scheduler.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+namespace sonic::core {
+
+// An FM transmitter with Internet access (§3.1: "the FM radio
+// infrastructure consists of multiple transmitters ... at different
+// locations").
+struct Transmitter {
+  std::string name = "default";
+  double frequency_mhz = 93.7;  // §4: unused frequency at the paper's site
+  double lat = 0.0;
+  double lon = 0.0;
+  double range_km = 30.0;
+};
+
+struct CompletedBroadcast {
+  Transmitter transmitter;
+  PageBundle bundle;
+  double completed_at_s = 0.0;
+};
+
+class SonicServer {
+ public:
+  struct Params {
+    std::string phone_number = "+92-SONIC";
+    double rate_bps = 10000.0;  // the verified sonic-10k rate
+    int num_frequencies = 1;
+    image::ColumnCodecParams codec{10, 94};  // §3.2: quality 10
+    web::LayoutParams layout;                // 1080 x PH10k by default
+    std::uint32_t page_expiry_s = 24 * 3600;
+    std::vector<Transmitter> transmitters{Transmitter{}};
+  };
+
+  SonicServer(const web::PkCorpus* corpus, sms::SmsGateway* gateway, Params params);
+
+  const std::string& phone_number() const { return params_.phone_number; }
+
+  // Polls the SMS gateway for page requests and search queries; ACKs (with
+  // ETA + frequency) or NACKs each one and enqueues accepted pages for
+  // broadcast. Search queries ("SONIC ASK ...") produce a results page
+  // broadcast under the url "search:<query>".
+  void poll_sms(double now_s);
+
+  // Preemptively pushes pages (e.g. the popular-news morning push, §3.1).
+  // Unknown URLs are skipped; returns how many were enqueued.
+  int push_pages(const std::vector<std::string>& urls, double now_s, int priority = 0);
+
+  // Advances the broadcast schedule; returns the page bundles whose
+  // transmission completed since the last call, ready for the modem.
+  std::vector<CompletedBroadcast> advance(double now_s);
+
+  const BroadcastScheduler& scheduler() const { return scheduler_; }
+  std::size_t render_cache_hits() const { return cache_hits_; }
+  std::size_t renders() const { return renders_; }
+
+  // Finds the transmitter covering a location (§3.1: the request carries
+  // the user's location so the proper transmitter can be informed).
+  const Transmitter* route(double lat, double lon) const;
+
+ private:
+  struct RenderedPage {
+    int version = 0;
+    PageBundle bundle;
+  };
+
+  // Renders (or reuses a cached render of) the page as of now.
+  const PageBundle* bundle_for(const std::string& url, double now_s);
+
+  const web::PkCorpus* corpus_;
+  sms::SmsGateway* gateway_;
+  Params params_;
+  BroadcastScheduler scheduler_;
+  std::map<std::string, RenderedPage> render_cache_;
+  std::map<std::string, Transmitter> pending_route_;  // url -> transmitter
+  std::uint32_t next_page_id_ = 1;
+  std::size_t cache_hits_ = 0;
+  std::size_t renders_ = 0;
+};
+
+}  // namespace sonic::core

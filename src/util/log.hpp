@@ -1,0 +1,42 @@
+// Minimal leveled logger. Benches and examples use it for progress lines;
+// the libraries themselves stay silent below `warn`.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sonic::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_args(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_line(LogLevel::kDebug, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_line(LogLevel::kInfo, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_line(LogLevel::kWarn, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_line(LogLevel::kError, detail::format_args(std::forward<Args>(args)...));
+}
+
+}  // namespace sonic::util

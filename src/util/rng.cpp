@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace sonic::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return mean + stddev * gauss_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_ = v * f;
+  have_gauss_ = true;
+  return mean + stddev * u * f;
+}
+
+double Rng::exponential(double rate) {
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+int Rng::poisson(double mean) {
+  // Knuth's algorithm; fine for the small means used in churn modelling.
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  int k = 0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+int Rng::zipf(int n, double s) {
+  // Inverse-CDF over precomputed weights would be faster, but popularity
+  // draws are not hot; linear scan keeps this dependency-free.
+  double total = 0.0;
+  for (int i = 1; i <= n; ++i) total += 1.0 / std::pow(i, s);
+  double target = uniform() * total;
+  double acc = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(i, s);
+    if (acc >= target) return i - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng(seed_ ^ (0x9e3779b97f4a7c15ull * (stream_id + 1)));
+}
+
+}  // namespace sonic::util

@@ -1,0 +1,48 @@
+// Deterministic random number generation for SONIC.
+//
+// Every stochastic component (channel noise, corpus churn, loss injection,
+// user-study sampling) draws from a seeded Rng so that tests and benchmarks
+// are reproducible. The core generator is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sonic::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x534f4e4943ull);  // "SONIC"
+
+  std::uint64_t next();                    // uniform 64-bit
+  double uniform();                        // [0, 1)
+  double uniform(double lo, double hi);    // [lo, hi)
+  std::uint64_t uniform_int(std::uint64_t n);  // [0, n), n > 0
+  double normal(double mean = 0.0, double stddev = 1.0);
+  double exponential(double rate);
+  bool bernoulli(double p);
+  int poisson(double mean);
+
+  // Zipf distribution over ranks [0, n); used for webpage popularity.
+  int zipf(int n, double s = 1.0);
+
+  // Derive an independent stream (e.g. per-page, per-trial) from this seed.
+  Rng fork(std::uint64_t stream_id) const;
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace sonic::util

@@ -1,0 +1,23 @@
+// Minimal mono 16-bit PCM WAV I/O, so the SONIC modem's audio can leave the
+// simulator: sonic_tx writes broadcastable WAV files, sonic_rx decodes
+// recordings (e.g., captured from a real FM receiver's headphone jack).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sonic::util {
+
+// Writes mono PCM16; samples are clamped to [-1, 1].
+void write_wav(const std::string& path, const std::vector<float>& samples, int sample_rate_hz);
+
+struct WavData {
+  std::vector<float> samples;
+  int sample_rate_hz = 0;
+};
+
+// Reads mono or stereo (downmixed) PCM16 WAV. Throws std::runtime_error on
+// malformed files.
+WavData read_wav(const std::string& path);
+
+}  // namespace sonic::util

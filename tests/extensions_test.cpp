@@ -1,0 +1,245 @@
+// Tests for the paper's proposed extensions implemented here: unequal
+// error protection (§4's "higher error protection for important parts"),
+// search queries over SMS (§3.1), and the PRBS scrambler that whitens
+// low-entropy payloads before OFDM mapping.
+#include <gtest/gtest.h>
+
+#include "modem/packet.hpp"
+#include "sonic/client.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/server.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+namespace sonic {
+namespace {
+
+using sonic::util::Bytes;
+using sonic::util::Rng;
+
+web::RenderResult small_page() {
+  return web::render_html(
+      "<h1>Top Headline</h1><p>important masthead content up here</p>"
+      "<p>body body body body body body body body body body body body</p>"
+      "<p>more body text further down the page that matters less</p>",
+      web::LayoutParams{200, 1200, 10, 2});
+}
+
+// -------------------------------------------------------------------- UEP ---
+
+TEST(Uep, DisabledPolicyMatchesBaseline) {
+  const auto page = small_page();
+  const auto base = core::make_bundle(1, "x.pk/", page, {10, 94});
+  const auto off = core::make_bundle(1, "x.pk/", page, {10, 94}, 24 * 3600, core::UepPolicy{});
+  EXPECT_EQ(base.frames.size(), off.frames.size());
+}
+
+TEST(Uep, AddsFramesOnlyForTopRegion) {
+  const auto page = small_page();
+  const auto base = core::make_bundle(1, "x.pk/", page, {10, 94});
+  core::UepPolicy uep;
+  uep.enabled = true;
+  uep.top_fraction = 0.25;
+  uep.copies = 2;
+  const auto protected_bundle = core::make_bundle(1, "x.pk/", page, {10, 94}, 24 * 3600, uep);
+  EXPECT_GT(protected_bundle.frames.size(), base.frames.size());
+  // On this short test page every column is a single RLE segment, so the
+  // region split plus the top copies roughly triples the count; on real
+  // 10k-px pages (many segments per column) the overhead is ~top_fraction.
+  EXPECT_LT(protected_bundle.frames.size(), base.frames.size() * 35 / 10);
+}
+
+TEST(Uep, DuplicateFramesStillReassembleExactly) {
+  const auto page = small_page();
+  core::UepPolicy uep;
+  uep.enabled = true;
+  const auto bundle = core::make_bundle(2, "y.pk/", page, {50, 94}, 3600, uep);
+  core::PageAssembler assembler;
+  for (const auto& frame : bundle.frames) assembler.push(frame);
+  const auto received = assembler.assemble(2, image::InterpolationMode::kLeft);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->coverage, 1.0);
+  EXPECT_EQ(received->image.width(), page.image.width());
+  EXPECT_EQ(received->image.height(), page.image.height());
+}
+
+TEST(Uep, TopRegionSurvivesLossBetter) {
+  const auto page = small_page();
+  core::UepPolicy uep;
+  uep.enabled = true;
+  uep.top_fraction = 0.3;
+  uep.copies = 2;
+  const auto bundle = core::make_bundle(3, "z.pk/", page, {10, 94}, 3600, uep);
+
+  double top_cov = 0, bottom_cov = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + static_cast<std::uint64_t>(t));
+    core::PageAssembler assembler;
+    for (const auto& frame : bundle.frames) {
+      // Drop only segment frames: this test measures pixel coverage, not
+      // metadata robustness (covered elsewhere).
+      const auto parsed = core::parse_frame(frame);
+      ASSERT_TRUE(parsed.has_value());
+      if (parsed->first.type == 1 && rng.bernoulli(0.25)) continue;
+      assembler.push(frame);
+    }
+    const auto received = assembler.assemble(3, image::InterpolationMode::kNone);
+    ASSERT_TRUE(received.has_value());
+    const int w = page.image.width();
+    const int top_rows = static_cast<int>(page.image.height() * 0.3);
+    std::size_t top = 0, bottom = 0;
+    for (int y = 0; y < page.image.height(); ++y) {
+      for (int x = 0; x < w; ++x) {
+        const bool got = received->mask[static_cast<std::size_t>(y) * w + x];
+        (y < top_rows ? top : bottom) += got;
+      }
+    }
+    top_cov += static_cast<double>(top) / (static_cast<double>(top_rows) * w);
+    bottom_cov += static_cast<double>(bottom) /
+                  (static_cast<double>(page.image.height() - top_rows) * w);
+  }
+  // 25% loss with 2x repetition -> ~6% residual in the top region vs ~25%
+  // below; demand a clear separation.
+  EXPECT_GT(top_cov / trials, bottom_cov / trials + 0.10);
+}
+
+// ---------------------------------------------------------- search queries ---
+
+TEST(Search, QueryWireFormatRoundTrip) {
+  sms::QueryRequest req{"cricket score lahore", 31.5, 74.3};
+  const auto parsed = sms::parse_query(sms::encode_query(req));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->query, "cricket score lahore");
+  EXPECT_NEAR(parsed->lat, 31.5, 1e-3);
+  EXPECT_FALSE(sms::parse_query("SONIC GET url @1,2").has_value());
+  EXPECT_FALSE(sms::parse_query("SONIC ASK  @1,2").has_value());
+}
+
+TEST(Search, ResultsPageRendersWithLinksIntoCorpus) {
+  web::PkCorpus corpus;
+  const std::string html = corpus.search_html("cricket", 0);
+  const auto page = web::render_html(html, web::LayoutParams{360, 4000, 12, 2});
+  ASSERT_GE(page.click_map.size(), 6u);
+  // Every result must link to a real corpus page.
+  for (const auto& region : page.click_map) {
+    EXPECT_NE(corpus.find(region.href), nullptr) << region.href;
+  }
+  // Deterministic per (query, epoch window).
+  EXPECT_EQ(corpus.search_html("cricket", 0), corpus.search_html("cricket", 1));
+  EXPECT_NE(corpus.search_html("cricket", 0), corpus.search_html("weather", 0));
+}
+
+TEST(Search, EndToEndAskFlow) {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway({2.0, 0.5, 0.0, 42});
+  core::SonicServer::Params sp;
+  sp.layout = web::LayoutParams{240, 2000, 10, 2};
+  sp.transmitters = {{"lahore", 93.7, 31.52, 74.35, 40.0}};
+  core::SonicServer server(&corpus, &gateway, sp);
+
+  core::SonicClient::Params cp;
+  cp.phone_number = "+923001230000";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  core::SonicClient client(&gateway, cp);
+
+  EXPECT_EQ(client.ask("election results", 0.0), core::SonicClient::TapResult::kRequestedViaSms);
+  server.poll_sms(10.0);
+  const auto acks = client.poll_acks(20.0);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].accepted);
+  EXPECT_EQ(acks[0].url, "search:election results");
+
+  const auto broadcasts = server.advance(20.0 + acks[0].eta_s + 5.0);
+  ASSERT_EQ(broadcasts.size(), 1u);
+  for (const auto& frame : broadcasts[0].bundle.frames) client.on_frame(frame);
+  client.flush(100.0);
+
+  const auto view = client.open("search:election results", 101.0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->click_map.empty());
+  // Tapping a result that is not cached falls back to a page request.
+  const auto& first = view->click_map.front();
+  EXPECT_EQ(client.tap("search:election results", first.x + 1, first.y + 1, 102.0),
+            core::SonicClient::TapResult::kRequestedViaSms);
+  // Repeating the same query within the results window hits the cache.
+  EXPECT_EQ(client.ask("election results", 103.0), core::SonicClient::TapResult::kOpenedCached);
+}
+
+TEST(Search, ServerCachesResultsPages) {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway({1.0, 0.0, 0.0, 43});
+  core::SonicServer::Params sp;
+  sp.layout = web::LayoutParams{240, 2000, 10, 2};
+  core::SonicServer server(&corpus, &gateway, sp);
+
+  auto send_query = [&](double now) {
+    gateway.send({"+92300111", sp.phone_number, sms::encode_query({"mango prices", 0.0, 0.0}), now, 0},
+                 now);
+    server.poll_sms(now + 5.0);
+  };
+  send_query(0.0);
+  send_query(60.0);  // same 6-hour window: cached render
+  EXPECT_EQ(server.renders(), 1u);
+  EXPECT_EQ(server.render_cache_hits(), 1u);
+}
+
+// -------------------------------------------------------------- scrambler ---
+
+TEST(Scrambler, SequenceIsBalancedAndDeterministic) {
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += modem::scrambler_bit(static_cast<std::size_t>(i));
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(modem::scrambler_bit(i), modem::scrambler_bit(i));
+  }
+}
+
+TEST(Scrambler, WhitensZeroPayloads) {
+  // An all-zero payload must produce a roughly balanced coded bitstream —
+  // the property that keeps the OFDM crest factor in check.
+  modem::PacketCodec codec(modem::PacketSpec{});
+  const Bytes zeros(100, 0x00);
+  const auto coded = codec.encode(zeros);
+  int ones = 0;
+  util::BitReader br(coded);
+  const std::size_t nbits = codec.encoded_bits(100);
+  for (std::size_t i = 0; i < nbits; ++i) ones += br.bit();
+  EXPECT_GT(static_cast<double>(ones) / static_cast<double>(nbits), 0.35);
+  EXPECT_LT(static_cast<double>(ones) / static_cast<double>(nbits), 0.65);
+}
+
+TEST(Scrambler, ScrambledRoundTripStillDecodes) {
+  modem::PacketCodec codec(modem::PacketSpec{});
+  for (const Bytes& payload : {Bytes(100, 0x00), Bytes(100, 0xff), Bytes(64, 0xaa)}) {
+    const auto coded = codec.encode(payload);
+    std::vector<float> soft(codec.encoded_bits(payload.size()));
+    util::BitReader br(coded);
+    for (auto& s : soft) s = static_cast<float>(br.bit());
+    const auto decoded = codec.decode(soft, payload.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(Scrambler, OffMatchesLegacyFormat) {
+  modem::PacketSpec spec;
+  spec.scramble = false;
+  modem::PacketCodec codec(spec);
+  Rng rng(9);
+  Bytes payload(50);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  const auto coded = codec.encode(payload);
+  std::vector<float> soft(codec.encoded_bits(50));
+  util::BitReader br(coded);
+  for (auto& s : soft) s = static_cast<float>(br.bit());
+  const auto decoded = codec.decode(soft, 50);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+}  // namespace
+}  // namespace sonic

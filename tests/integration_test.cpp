@@ -1,0 +1,99 @@
+// Full-stack integration: the paper's testbed in software. A SONIC server
+// renders a page, frames it, the frames ride an OFDM burst through the FM
+// transmitter + RF channel + acoustic hop, and the client reassembles what
+// its modem decodes.
+#include <gtest/gtest.h>
+
+#include "fm/link.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "sonic/client.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/server.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+
+namespace sonic {
+namespace {
+
+// Transmits a bundle over the real PHY in bursts of `frames_per_burst`.
+// Returns the client-observed frame loss rate.
+double transmit_over_phy(const core::PageBundle& bundle, core::SonicClient& client,
+                         fm::FmLinkConfig link_cfg, int frames_per_burst = 16) {
+  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  std::size_t sent = 0, received = 0;
+  for (std::size_t off = 0; off < bundle.frames.size(); off += static_cast<std::size_t>(frames_per_burst)) {
+    std::vector<util::Bytes> burst_frames(
+        bundle.frames.begin() + static_cast<std::ptrdiff_t>(off),
+        bundle.frames.begin() +
+            static_cast<std::ptrdiff_t>(std::min(off + static_cast<std::size_t>(frames_per_burst),
+                                                 bundle.frames.size())));
+    const auto audio = ofdm.modulate(burst_frames);
+    link_cfg.seed += 1;
+    fm::FmLink link(link_cfg);
+    const auto rx_audio = link.transmit(audio);
+    const auto burst = ofdm.receive_one(rx_audio);
+    sent += burst_frames.size();
+    if (burst) {
+      client.on_burst(*burst);
+      received += burst->frames_ok();
+    }
+  }
+  return 1.0 - static_cast<double>(received) / static_cast<double>(sent);
+}
+
+TEST(FullStack, PageOverFmCableArrivesIntact) {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway({2.0, 0.5, 0.0, 1});
+  core::SonicServer::Params sp;
+  sp.layout = web::LayoutParams{200, 600, 10, 2};  // small page: PHY is slow
+  core::SonicServer server(&corpus, &gateway, sp);
+  const std::string url = corpus.pages()[0].url;
+  server.push_pages({url}, 0.0);
+  const auto broadcasts = server.advance(1e9);
+  ASSERT_EQ(broadcasts.size(), 1u);
+
+  core::SonicClient client(nullptr, core::SonicClient::Params{});
+  fm::FmLinkConfig cfg;
+  cfg.rf.rssi_db = -70.0;            // high RSSI, as in the paper's §4 setup
+  cfg.acoustic.distance_m = 0.0;     // cable mode
+  cfg.seed = 100;
+  const double loss = transmit_over_phy(broadcasts[0].bundle, client, cfg);
+  EXPECT_EQ(loss, 0.0);  // paper Fig. 4(a): no loss over cable
+
+  client.flush(10.0);
+  const core::ReceivedPage* page = client.cache().get(url, 11.0);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->coverage, 1.0);
+  EXPECT_EQ(page->metadata.url, url);
+}
+
+TEST(FullStack, OneMeterAirHopLosesSomeFramesButPageRemainsUsable) {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway({2.0, 0.5, 0.0, 2});
+  core::SonicServer::Params sp;
+  sp.layout = web::LayoutParams{200, 600, 10, 2};
+  core::SonicServer server(&corpus, &gateway, sp);
+  const std::string url = corpus.pages()[8].url;
+  server.push_pages({url}, 0.0);
+  const auto broadcasts = server.advance(1e9);
+  ASSERT_EQ(broadcasts.size(), 1u);
+
+  core::SonicClient client(nullptr, core::SonicClient::Params{});
+  fm::FmLinkConfig cfg;
+  cfg.enable_rf = false;  // isolate the acoustic hop (high-RSSI radio)
+  cfg.acoustic.distance_m = 1.0;
+  cfg.seed = 7;
+  const double loss = transmit_over_phy(broadcasts[0].bundle, client, cfg);
+  EXPECT_GT(loss, 0.0);   // 1 m over the air is lossy...
+  EXPECT_LT(loss, 0.9);   // ...but not dead (Fig. 4(a))
+
+  client.flush(10.0);
+  const core::ReceivedPage* page = client.cache().get(url, 11.0);
+  ASSERT_NE(page, nullptr);
+  EXPECT_GT(page->coverage, 0.3);
+  EXPECT_EQ(page->image.width(), 200);  // geometry survived via metadata redundancy
+}
+
+}  // namespace
+}  // namespace sonic

@@ -1,0 +1,236 @@
+// Property-style tests: invariants that must hold across swept parameter
+// ranges and adversarial (fuzzed) inputs, complementing the per-module
+// example-based tests.
+#include <gtest/gtest.h>
+
+#include "image/column_codec.hpp"
+#include "image/dct_codec.hpp"
+#include "modem/ofdm.hpp"
+#include "modem/profile.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/scheduler.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+namespace sonic {
+namespace {
+
+using sonic::util::Bytes;
+using sonic::util::Rng;
+
+// ---------------------------------------------------- column codec sweeps ---
+
+class ColumnCodecQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColumnCodecQualityTest, RoundTripAtEveryQuality) {
+  const int quality = GetParam();
+  Rng rng(static_cast<std::uint64_t>(quality));
+  image::Raster img(24, 150);
+  for (auto& p : img.pixels()) {
+    p = {static_cast<std::uint8_t>(rng.uniform_int(256)),
+         static_cast<std::uint8_t>(rng.uniform_int(256)),
+         static_cast<std::uint8_t>(rng.uniform_int(256))};
+  }
+  image::ColumnCodecParams params;
+  params.quality = quality;
+  const auto segments = image::column_encode(img, params);
+  const auto result = image::column_decode(img.width(), img.height(), segments, params);
+  EXPECT_EQ(result.coverage(), 1.0) << quality;
+  // Reconstruction error bounded by the quantizer step (plus color math).
+  const double quality_db = image::psnr(img, result.image);
+  EXPECT_GT(quality_db, quality >= 90 ? 28.0 : quality >= 50 ? 20.0 : 9.0) << quality;
+  // Higher quality must not hurt PSNR.
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, ColumnCodecQualityTest,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 90, 100));
+
+TEST(ColumnCodecProperty, DecodeNeverCrashesOnCorruptSegments) {
+  // Fuzz: random bytes as segment data, random geometry — must never crash
+  // or write out of bounds, only produce unmasked pixels.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<image::ColumnSegment> segments;
+    const int n = 1 + static_cast<int>(rng.uniform_int(5));
+    for (int i = 0; i < n; ++i) {
+      image::ColumnSegment seg;
+      seg.col = static_cast<std::uint16_t>(rng.uniform_int(40));       // may exceed width
+      seg.row0 = static_cast<std::uint16_t>(rng.uniform_int(300));     // may exceed height
+      seg.rows = static_cast<std::uint16_t>(rng.uniform_int(400));
+      seg.data.resize(rng.uniform_int(120));
+      for (auto& b : seg.data) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+      segments.push_back(std::move(seg));
+    }
+    const auto result = image::column_decode(20, 200, segments, {10, 94});
+    EXPECT_EQ(result.mask.size(), 20u * 200u);
+  }
+}
+
+// ------------------------------------------------------------ swebp fuzz ---
+
+TEST(SwebpProperty, DecoderSurvivesBitFlips) {
+  Rng rng(5);
+  image::Raster img(40, 40);
+  for (auto& p : img.pixels()) {
+    p = {static_cast<std::uint8_t>(rng.uniform_int(256)), 128, 30};
+  }
+  const auto clean = image::swebp_encode(img, 40);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupt = clean;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < flips; ++i) {
+      corrupt[rng.uniform_int(corrupt.size())] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    // Must not crash; may fail or return a damaged image.
+    (void)image::swebp_decode(corrupt);
+  }
+}
+
+// --------------------------------------------------------- framing fuzz ---
+
+TEST(FramingProperty, AssemblerSurvivesArbitraryFrames) {
+  Rng rng(11);
+  core::PageAssembler assembler;
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes frame(core::kFrameSize);
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    assembler.push(frame);  // random headers: must never crash or overflow
+  }
+  // Whatever pages it believes it saw must assemble (or refuse) cleanly.
+  for (std::uint32_t id : assembler.known_pages()) {
+    (void)assembler.assemble(id, image::InterpolationMode::kLeft);
+  }
+}
+
+TEST(FramingProperty, WrongSizedFramesAreIgnored) {
+  core::PageAssembler assembler;
+  assembler.push(Bytes(10, 0));
+  assembler.push(Bytes(1000, 0));
+  assembler.push(Bytes{});
+  EXPECT_TRUE(assembler.known_pages().empty());
+}
+
+// ---------------------------------------------------- scheduler invariants ---
+
+TEST(SchedulerProperty, ByteConservation) {
+  // At every step: completed + backlog <= enqueued, and the gap (bytes of
+  // the in-flight item already on air) is bounded by one item. After a full
+  // drain, every enqueued byte must be accounted as completed.
+  Rng rng(13);
+  core::BroadcastScheduler sched({12000.0, 1});
+  double enqueued = 0, completed = 0, max_item = 0;
+  double now = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.bernoulli(0.4)) {
+      const std::size_t bytes = 100 + rng.uniform_int(50000);
+      sched.enqueue("x", bytes, now, static_cast<int>(rng.uniform_int(3)));
+      enqueued += static_cast<double>(bytes);
+      max_item = std::max(max_item, static_cast<double>(bytes));
+    }
+    now += rng.uniform(1.0, 30.0);
+    for (const auto& item : sched.advance(now)) completed += static_cast<double>(item.bytes);
+    const double accounted = completed + sched.backlog_bytes();
+    ASSERT_LE(accounted, enqueued + 1.0) << "step " << step;
+    ASSERT_GE(accounted, enqueued - max_item - 1.0) << "step " << step;
+  }
+  for (const auto& item : sched.advance(now + 1e7)) completed += static_cast<double>(item.bytes);
+  EXPECT_NEAR(completed, enqueued, 1.0);
+  EXPECT_NEAR(sched.backlog_bytes(), 0.0, 1e-6);
+}
+
+TEST(SchedulerProperty, CompletionTimesMonotoneAndCausal) {
+  Rng rng(17);
+  core::BroadcastScheduler sched({9000.0, 2});
+  for (int i = 0; i < 30; ++i) {
+    sched.enqueue("p" + std::to_string(i), 1000 + rng.uniform_int(20000), static_cast<double>(i));
+  }
+  double prev = 0;
+  for (const auto& item : sched.advance(1e6)) {
+    EXPECT_GE(item.completed_at_s, prev);
+    EXPECT_GE(item.completed_at_s, item.enqueued_at_s);
+    prev = item.completed_at_s;
+  }
+  EXPECT_NEAR(sched.backlog_bytes(), 0.0, 1e-6);
+}
+
+// ------------------------------------------------------- modem robustness ---
+
+class OfdmFrameSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OfdmFrameSizeTest, LoopbackAcrossFrameSizes) {
+  const int frame_len = GetParam();
+  modem::OfdmModem modem(modem::profile_sonic10k());
+  Rng rng(static_cast<std::uint64_t>(frame_len));
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 3; ++i) {
+    Bytes f(static_cast<std::size_t>(frame_len));
+    for (auto& b : f) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    frames.push_back(std::move(f));
+  }
+  const auto audio = modem.modulate(frames);
+  const auto burst = modem.receive_one(audio);
+  ASSERT_TRUE(burst.has_value()) << frame_len;
+  EXPECT_EQ(burst->frames_ok(), 3u) << frame_len;
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, OfdmFrameSizeTest, ::testing::Values(1, 7, 50, 100, 333, 1000));
+
+TEST(OfdmProperty, ReceiverSurvivesTruncatedStreams) {
+  modem::OfdmModem modem(modem::profile_sonic10k());
+  Rng rng(23);
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 4; ++i) {
+    Bytes f(100);
+    for (auto& b : f) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    frames.push_back(std::move(f));
+  }
+  const auto audio = modem.modulate(frames);
+  // Cut the stream at arbitrary points: never crash, never report a frame
+  // that fails its CRC as valid.
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::vector<float> cut(audio.begin(),
+                           audio.begin() + static_cast<std::ptrdiff_t>(audio.size() * frac));
+    const auto burst = modem.receive_one(cut);
+    if (burst) {
+      for (std::size_t i = 0; i < burst->frames.size(); ++i) {
+        if (burst->frames[i].has_value()) {
+          EXPECT_EQ(*burst->frames[i], frames[i]);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ corpus sweep ---
+
+TEST(CorpusProperty, EveryPageParsesRendersAndHasWorkingLinks) {
+  web::PkCorpus corpus;
+  web::LayoutParams layout{240, 1200, 10, 2};
+  // All 100 pages (cheap small renders): must produce content and in-bounds
+  // click maps pointing at real pages.
+  for (const auto& ref : corpus.pages()) {
+    const auto page = web::render_html(corpus.html(ref, 0), layout);
+    ASSERT_GT(page.image.height(), 60) << ref.url;
+    ASSERT_FALSE(page.click_map.empty()) << ref.url;
+    for (const auto& region : page.click_map) {
+      EXPECT_GE(region.x, 0);
+      EXPECT_GE(region.y, 0);
+      EXPECT_LE(region.x + region.w, page.image.width());
+      EXPECT_LE(region.y + region.h, page.image.height());
+      EXPECT_NE(corpus.find(region.href), nullptr) << ref.url << " -> " << region.href;
+    }
+  }
+}
+
+TEST(CorpusProperty, TwoInstancesAgreeExactly) {
+  web::PkCorpus a, b;
+  for (std::size_t i = 0; i < a.pages().size(); i += 17) {
+    const auto& ref = a.pages()[i];
+    EXPECT_EQ(a.html(ref, 5), b.html(b.pages()[i], 5));
+    EXPECT_EQ(a.version(ref, 24), b.version(b.pages()[i], 24));
+  }
+}
+
+}  // namespace
+}  // namespace sonic

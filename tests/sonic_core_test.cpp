@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sonic/cache.hpp"
+#include "sonic/client.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/scheduler.hpp"
+#include "sonic/server.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+
+namespace sonic::core {
+namespace {
+
+using sonic::util::Rng;
+
+web::RenderResult small_page(const std::string& link = "target.pk/") {
+  return web::render_html(
+      "<h1>Headline</h1><p>Some body text for the page that wraps across lines.</p>"
+      "<p><a href=\"" + link + "\">read more</a></p><p>tail content</p>",
+      web::LayoutParams{240, 1200, 10, 2});
+}
+
+// ---------------------------------------------------------------- Framing ---
+
+TEST(Framing, FrameRoundTrip) {
+  util::Bytes payload{1, 2, 3, 4, 5};
+  const auto frame = serialize_frame({42, 7, 100, 1}, payload);
+  EXPECT_EQ(frame.size(), kFrameSize);
+  const auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.page_id, 42u);
+  EXPECT_EQ(parsed->first.seq, 7);
+  EXPECT_EQ(parsed->first.total, 100);
+  EXPECT_EQ(parsed->first.type, 1);
+  EXPECT_EQ(parsed->second, payload);
+}
+
+TEST(Framing, RejectsMalformedFrames) {
+  EXPECT_FALSE(parse_frame(util::Bytes(50, 0)).has_value());   // wrong size
+  EXPECT_FALSE(parse_frame(util::Bytes(200, 0)).has_value());  // wrong size
+  auto frame = serialize_frame({1, 0, 1, 0}, {});
+  frame[8] = 9;  // bad type
+  EXPECT_FALSE(parse_frame(frame).has_value());
+  auto frame2 = serialize_frame({1, 5, 3, 0}, {});  // seq >= total
+  EXPECT_FALSE(parse_frame(frame2).has_value());
+}
+
+TEST(Framing, MetadataRoundTrip) {
+  PageMetadata m;
+  m.url = "khabar.pk/story-1";
+  m.width = 1080;
+  m.height = 9999;
+  m.quality = 10;
+  m.expiry_s = 7200;
+  m.click_map = {{10, 20, 100, 16, "khabar.pk/"}, {10, 400, 220, 16, "khabar.pk/story-2"}};
+  const auto parsed = parse_metadata(serialize_metadata(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, m.url);
+  EXPECT_EQ(parsed->width, 1080);
+  EXPECT_EQ(parsed->height, 9999);
+  EXPECT_EQ(parsed->expiry_s, 7200u);
+  ASSERT_EQ(parsed->click_map.size(), 2u);
+  EXPECT_EQ(parsed->click_map[1].href, "khabar.pk/story-2");
+}
+
+TEST(Framing, TruncatedMetadataKeepsPrefixClickMap) {
+  PageMetadata m;
+  m.url = "x.pk/";
+  m.width = 100;
+  m.height = 100;
+  for (int i = 0; i < 20; ++i) m.click_map.push_back({i, i, 10, 10, "x.pk/story-1"});
+  auto blob = serialize_metadata(m);
+  blob.resize(blob.size() / 2);  // lose the tail chunk
+  const auto parsed = parse_metadata(blob);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, "x.pk/");
+  EXPECT_LT(parsed->click_map.size(), 20u);
+}
+
+TEST(Framing, BundleFramesAreFixedSize) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(5, "test.pk/", page, {10, 94});
+  EXPECT_GT(bundle.frames.size(), 4u);
+  for (const auto& f : bundle.frames) EXPECT_EQ(f.size(), kFrameSize);
+  // Every frame parses and carries the right page id and total.
+  for (const auto& f : bundle.frames) {
+    const auto parsed = parse_frame(f);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first.page_id, 5u);
+    EXPECT_EQ(parsed->first.total, bundle.frames.size());
+  }
+}
+
+TEST(Assembler, FullDeliveryReconstructsPage) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(9, "full.pk/", page, {50, 94});
+  PageAssembler assembler;
+  for (const auto& f : bundle.frames) assembler.push(f);
+  EXPECT_TRUE(assembler.complete(9));
+  const auto received = assembler.assemble(9, image::InterpolationMode::kLeft);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->metadata.url, "full.pk/");
+  EXPECT_EQ(received->image.width(), page.image.width());
+  EXPECT_EQ(received->image.height(), page.image.height());
+  EXPECT_EQ(received->coverage, 1.0);
+  EXPECT_EQ(received->frame_loss_rate(), 0.0);
+  EXPECT_EQ(received->metadata.click_map.size(), page.click_map.size());
+  EXPECT_GT(image::psnr(page.image, received->image), 18.0);
+}
+
+TEST(Assembler, ToleratesLossDuplicatesAndReordering) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(3, "messy.pk/", page, {10, 94});
+  Rng rng(5);
+  std::vector<util::Bytes> frames = bundle.frames;
+  rng.shuffle(frames);
+  PageAssembler assembler;
+  std::size_t dropped = 0;
+  for (const auto& f : frames) {
+    if (rng.bernoulli(0.10)) {
+      ++dropped;
+      continue;
+    }
+    assembler.push(f);
+    if (rng.bernoulli(0.3)) assembler.push(f);  // duplicate delivery
+  }
+  ASSERT_GT(dropped, 0u);
+  const auto received = assembler.assemble(3, image::InterpolationMode::kLeft);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_LT(received->coverage, 1.0 + 1e-9);
+  EXPECT_GT(received->coverage, 0.6);
+  EXPECT_NEAR(received->frame_loss_rate(), 0.10, 0.08);
+  // Interpolation fills the image fully.
+  EXPECT_EQ(received->image.width(), page.image.width());
+}
+
+TEST(Assembler, MetadataRedundancySurvivesFirstCopyLoss) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(4, "meta.pk/", page, {10, 94});
+  PageAssembler assembler;
+  // Drop every metadata frame in the first half of the stream; the tail
+  // copy must still provide the geometry.
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < bundle.frames.size(); ++i) {
+    const auto parsed = parse_frame(bundle.frames[i]);
+    ASSERT_TRUE(parsed.has_value());
+    if (parsed->first.type == 0 && i < bundle.frames.size() / 2) {
+      ++skipped;
+      continue;
+    }
+    assembler.push(bundle.frames[i]);
+  }
+  ASSERT_GT(skipped, 0u);
+  const auto received = assembler.assemble(4, image::InterpolationMode::kLeft);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->metadata.url, "meta.pk/");
+  EXPECT_EQ(received->metadata.click_map.size(), page.click_map.size());
+}
+
+TEST(Assembler, NoMetadataMeansNoPage) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(6, "lost.pk/", page, {10, 94});
+  PageAssembler assembler;
+  for (const auto& f : bundle.frames) {
+    const auto parsed = parse_frame(f);
+    if (parsed->first.type == 0) continue;  // all metadata lost
+    assembler.push(f);
+  }
+  EXPECT_FALSE(assembler.assemble(6, image::InterpolationMode::kLeft).has_value());
+}
+
+TEST(Assembler, TracksMultiplePagesIndependently) {
+  const auto bundle_a = make_bundle(1, "a.pk/", small_page(), {10, 94});
+  const auto bundle_b = make_bundle(2, "b.pk/", small_page(), {10, 94});
+  PageAssembler assembler;
+  // Interleave the two pages' frames.
+  for (std::size_t i = 0; i < std::max(bundle_a.frames.size(), bundle_b.frames.size()); ++i) {
+    if (i < bundle_a.frames.size()) assembler.push(bundle_a.frames[i]);
+    if (i < bundle_b.frames.size()) assembler.push(bundle_b.frames[i]);
+  }
+  EXPECT_EQ(assembler.known_pages().size(), 2u);
+  EXPECT_TRUE(assembler.complete(1));
+  EXPECT_TRUE(assembler.complete(2));
+  EXPECT_EQ(assembler.assemble(1, image::InterpolationMode::kLeft)->metadata.url, "a.pk/");
+  EXPECT_EQ(assembler.assemble(2, image::InterpolationMode::kLeft)->metadata.url, "b.pk/");
+  assembler.drop(1);
+  EXPECT_EQ(assembler.known_pages().size(), 1u);
+}
+
+// -------------------------------------------------------------- Scheduler ---
+
+TEST(Scheduler, DrainsAtAggregateRate) {
+  BroadcastScheduler sched({10000.0, 1});  // 1250 B/s
+  sched.enqueue("a", 12500, 0.0);
+  EXPECT_NEAR(sched.backlog_bytes(), 12500.0, 1.0);
+  auto done = sched.advance(5.0);
+  EXPECT_TRUE(done.empty());
+  EXPECT_NEAR(sched.backlog_bytes(), 12500.0 - 6250.0, 1.0);
+  done = sched.advance(10.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].url, "a");
+  EXPECT_NEAR(done[0].completed_at_s, 10.0, 0.01);
+  EXPECT_NEAR(sched.backlog_bytes(), 0.0, 1e-6);
+}
+
+TEST(Scheduler, MultiFrequencyMultipliesRate) {
+  BroadcastScheduler one({10000.0, 1});
+  BroadcastScheduler four({10000.0, 4});
+  one.enqueue("x", 100000, 0.0);
+  four.enqueue("x", 100000, 0.0);
+  EXPECT_TRUE(one.advance(40.0).empty());   // needs 80 s at 1.25 kB/s
+  EXPECT_EQ(four.advance(40.0).size(), 1u); // needs 20 s at 5 kB/s
+}
+
+TEST(Scheduler, PriorityOutranksFifoButNotInFlight) {
+  BroadcastScheduler sched({8000.0, 1});  // 1000 B/s
+  sched.enqueue("slow", 5000, 0.0, 0);
+  sched.advance(1.0);  // "slow" is now in flight
+  sched.enqueue("bulk", 3000, 1.0, 0);
+  sched.enqueue("urgent", 1000, 1.5, 1);
+  const auto done = sched.advance(20.0);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].url, "slow");    // not preempted
+  EXPECT_EQ(done[1].url, "urgent");  // jumps the bulk refresh
+  EXPECT_EQ(done[2].url, "bulk");
+}
+
+TEST(Scheduler, EtaAccountsForBacklog) {
+  BroadcastScheduler sched({10000.0, 1});
+  EXPECT_NEAR(sched.eta_s(1250), 1.0, 0.01);
+  sched.enqueue("a", 12500, 0.0);
+  EXPECT_NEAR(sched.eta_s(1250), 11.0, 0.01);
+}
+
+TEST(Scheduler, BacklogAccumulatesWhenRateInsufficient) {
+  // The Fig. 4(c) phenomenon: at 10 kbps the queue never drains.
+  BroadcastScheduler sched({10000.0, 1});
+  double backlog_peak = 0;
+  for (int hour = 0; hour < 24; ++hour) {
+    // 2 MB of fresh content per hour > 4.5 MB/h of capacity? 10kbps =
+    // 4.5 MB/h, so push 6 MB to exceed it.
+    sched.enqueue("refresh" + std::to_string(hour), 6000000, hour * 3600.0);
+    sched.advance((hour + 1) * 3600.0);
+    backlog_peak = std::max(backlog_peak, sched.backlog_bytes());
+  }
+  EXPECT_GT(sched.backlog_bytes(), 1000000.0);  // still backlogged
+  BroadcastScheduler fast({40000.0, 1});
+  for (int hour = 0; hour < 24; ++hour) {
+    fast.enqueue("refresh" + std::to_string(hour), 6000000, hour * 3600.0);
+    fast.advance((hour + 1) * 3600.0);
+  }
+  EXPECT_NEAR(fast.backlog_bytes(), 0.0, 1.0);  // 18 MB/h capacity drains
+}
+
+// ------------------------------------------------------------------ Cache ---
+
+ReceivedPage fake_page(const std::string& url, std::uint32_t expiry_s) {
+  ReceivedPage page;
+  page.metadata.url = url;
+  page.metadata.width = 10;
+  page.metadata.height = 10;
+  page.metadata.expiry_s = expiry_s;
+  page.image = image::Raster(10, 10);
+  page.coverage = 1.0;
+  return page;
+}
+
+TEST(Cache, StoresAndExpires) {
+  PageCache cache;
+  cache.put(fake_page("a.pk/", 100), 0.0);
+  EXPECT_NE(cache.get("a.pk/", 50.0), nullptr);
+  EXPECT_EQ(cache.get("a.pk/", 150.0), nullptr);  // expired
+  EXPECT_EQ(cache.size(), 0u);                     // lazily evicted
+}
+
+TEST(Cache, CatalogListsUnexpired) {
+  PageCache cache;
+  cache.put(fake_page("a.pk/", 100), 0.0);
+  cache.put(fake_page("b.pk/", 1000), 0.0);
+  EXPECT_EQ(cache.catalog(50.0).size(), 2u);
+  const auto later = cache.catalog(500.0);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].url, "b.pk/");
+}
+
+TEST(Cache, BoundedEvictsOldest) {
+  PageCache cache(2);
+  cache.put(fake_page("old.pk/", 10000), 0.0);
+  cache.put(fake_page("mid.pk/", 10000), 10.0);
+  cache.put(fake_page("new.pk/", 10000), 20.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get("old.pk/", 21.0), nullptr);
+  EXPECT_NE(cache.get("new.pk/", 21.0), nullptr);
+}
+
+TEST(Cache, PutOverwritesSameUrl) {
+  PageCache cache;
+  cache.put(fake_page("a.pk/", 100), 0.0);
+  auto updated = fake_page("a.pk/", 100000);
+  updated.coverage = 0.5;
+  cache.put(std::move(updated), 50.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.get("a.pk/", 5000.0), nullptr);
+}
+
+// ----------------------------------------------- Server/client integration ---
+
+struct World {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway{{2.0, 0.5, 0.0, 99}};
+  SonicServer::Params server_params;
+  World() {
+    server_params.layout = web::LayoutParams{240, 2000, 10, 2};  // small, fast renders
+    server_params.transmitters = {{"lahore", 93.7, 31.52, 74.35, 40.0}};
+  }
+};
+
+TEST(ServerClient, SmsRequestAckAndBroadcastRoundTrip) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient::Params cp;
+  cp.phone_number = "+923001234567";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  SonicClient client(&w.gateway, cp);
+
+  const std::string url = w.corpus.pages()[0].url;
+  EXPECT_EQ(client.request(url, 0.0), SonicClient::TapResult::kRequestedViaSms);
+
+  server.poll_sms(10.0);  // request delivered by now
+  const auto acks = client.poll_acks(20.0);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].accepted);
+  EXPECT_EQ(acks[0].url, url);
+  EXPECT_NEAR(acks[0].frequency_mhz, 93.7, 0.01);
+  EXPECT_GT(acks[0].eta_s, 0.0);
+
+  // Let the broadcast complete and deliver the frames losslessly.
+  const auto broadcasts = server.advance(20.0 + acks[0].eta_s + 5.0);
+  ASSERT_EQ(broadcasts.size(), 1u);
+  EXPECT_EQ(broadcasts[0].bundle.metadata.url, url);
+  for (const auto& frame : broadcasts[0].bundle.frames) client.on_frame(frame);
+  const auto cached = client.flush(100.0);
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_EQ(cached[0], url);
+
+  const auto view = client.open(url, 101.0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->image.width(), cp.device_width);
+}
+
+TEST(ServerClient, NackForUnknownPageAndNoCoverage) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient::Params cp;
+  cp.phone_number = "+923009999999";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  SonicClient client(&w.gateway, cp);
+
+  client.request("does-not-exist.pk/", 0.0);
+  server.poll_sms(10.0);
+  auto acks = client.poll_acks(20.0);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].accepted);
+  EXPECT_EQ(acks[0].reason, "unknown-page");
+
+  // A user outside every transmitter's range.
+  SonicClient::Params far;
+  far.phone_number = "+923008888888";
+  far.lat = 24.86;  // Karachi, ~1000 km from the Lahore transmitter
+  far.lon = 67.0;
+  SonicClient remote(&w.gateway, far);
+  remote.request(w.corpus.pages()[0].url, 30.0);
+  server.poll_sms(40.0);
+  acks = remote.poll_acks(50.0);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].accepted);
+  EXPECT_EQ(acks[0].reason, "no-coverage");
+}
+
+TEST(ServerClient, DownlinkOnlyUserReceivesBroadcastsButCannotRequest) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient user_a(nullptr, SonicClient::Params{});  // no SMS (user A/B)
+  EXPECT_FALSE(user_a.has_uplink());
+
+  const std::string url = w.corpus.pages()[4].url;
+  server.push_pages({url}, 0.0);
+  const auto broadcasts = server.advance(100000.0);
+  ASSERT_EQ(broadcasts.size(), 1u);
+  for (const auto& frame : broadcasts[0].bundle.frames) user_a.on_frame(frame);
+  user_a.flush(10.0);
+  EXPECT_TRUE(user_a.open(url, 11.0).has_value());
+  EXPECT_EQ(user_a.request("anything.pk/", 12.0), SonicClient::TapResult::kNoUplink);
+}
+
+TEST(ServerClient, TapOnLinkNavigatesOrRequests) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient::Params cp;
+  cp.phone_number = "+923001111111";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  cp.device_width = 240;  // same as transmitted width: 1:1 coordinates
+  SonicClient client(&w.gateway, cp);
+
+  // Deliver the landing page of site 0.
+  const std::string url = w.corpus.pages()[0].url;
+  server.push_pages({url}, 0.0);
+  for (const auto& b : server.advance(100000.0)) {
+    for (const auto& frame : b.bundle.frames) client.on_frame(frame);
+  }
+  client.flush(10.0);
+  const ReceivedPage* page = client.cache().get(url, 11.0);
+  ASSERT_NE(page, nullptr);
+  ASSERT_FALSE(page->metadata.click_map.empty());
+  const auto& region = page->metadata.click_map.front();
+
+  // Tap in the middle of the first link: target is not cached, so the
+  // client must fall back to an SMS request.
+  const auto result = client.tap(url, region.x + region.w / 2, region.y + region.h / 2, 12.0);
+  EXPECT_EQ(result, SonicClient::TapResult::kRequestedViaSms);
+  // Tap on empty space does nothing.
+  EXPECT_EQ(client.tap(url, 1, 1, 13.0), SonicClient::TapResult::kNoLink);
+}
+
+TEST(ServerClient, ServerRenderCacheAvoidsRerendering) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  const std::string url = w.corpus.pages()[8].url;
+  server.push_pages({url}, 0.0);
+  server.push_pages({url}, 60.0);  // same hour: cached render
+  EXPECT_EQ(server.renders(), 1u);
+  EXPECT_EQ(server.render_cache_hits(), 1u);
+}
+
+TEST(ServerClient, LossyDeliveryStillYieldsReadablePage) {
+  World w;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient client(nullptr, SonicClient::Params{});
+  const std::string url = w.corpus.pages()[12].url;
+  server.push_pages({url}, 0.0);
+  const auto broadcasts = server.advance(1e9);
+  ASSERT_EQ(broadcasts.size(), 1u);
+  Rng rng(21);
+  std::size_t delivered = 0;
+  for (const auto& frame : broadcasts[0].bundle.frames) {
+    if (rng.bernoulli(0.10)) continue;  // 10% frame loss
+    client.on_frame(frame);
+    ++delivered;
+  }
+  ASSERT_LT(delivered, broadcasts[0].bundle.frames.size());
+  const auto cached = client.flush(10.0);
+  ASSERT_EQ(cached.size(), 1u);
+  const ReceivedPage* page = client.cache().get(url, 11.0);
+  ASSERT_NE(page, nullptr);
+  EXPECT_GT(page->coverage, 0.75);
+  EXPECT_NEAR(page->frame_loss_rate(), 0.10, 0.07);
+}
+
+}  // namespace
+}  // namespace sonic::core
