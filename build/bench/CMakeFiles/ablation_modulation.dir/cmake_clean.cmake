@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modulation.dir/ablation_modulation.cpp.o"
+  "CMakeFiles/ablation_modulation.dir/ablation_modulation.cpp.o.d"
+  "ablation_modulation"
+  "ablation_modulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uep.dir/ablation_uep.cpp.o"
+  "CMakeFiles/ablation_uep.dir/ablation_uep.cpp.o.d"
+  "ablation_uep"
+  "ablation_uep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

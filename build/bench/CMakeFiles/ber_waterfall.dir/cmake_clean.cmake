@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_waterfall.dir/ber_waterfall.cpp.o"
+  "CMakeFiles/ber_waterfall.dir/ber_waterfall.cpp.o.d"
+  "ber_waterfall"
+  "ber_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

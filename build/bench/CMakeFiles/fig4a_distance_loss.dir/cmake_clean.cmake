@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_distance_loss.dir/fig4a_distance_loss.cpp.o"
+  "CMakeFiles/fig4a_distance_loss.dir/fig4a_distance_loss.cpp.o.d"
+  "fig4a_distance_loss"
+  "fig4a_distance_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_distance_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

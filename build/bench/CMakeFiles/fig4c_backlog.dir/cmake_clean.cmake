@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_backlog.dir/fig4c_backlog.cpp.o"
+  "CMakeFiles/fig4c_backlog.dir/fig4c_backlog.cpp.o.d"
+  "fig4c_backlog"
+  "fig4c_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_user_study.dir/fig5_user_study.cpp.o"
+  "CMakeFiles/fig5_user_study.dir/fig5_user_study.cpp.o.d"
+  "fig5_user_study"
+  "fig5_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

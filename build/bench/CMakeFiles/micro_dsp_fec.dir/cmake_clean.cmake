@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dsp_fec.dir/micro_dsp_fec.cpp.o"
+  "CMakeFiles/micro_dsp_fec.dir/micro_dsp_fec.cpp.o.d"
+  "micro_dsp_fec"
+  "micro_dsp_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsp_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

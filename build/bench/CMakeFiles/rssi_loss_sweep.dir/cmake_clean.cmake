@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rssi_loss_sweep.dir/rssi_loss_sweep.cpp.o"
+  "CMakeFiles/rssi_loss_sweep.dir/rssi_loss_sweep.cpp.o.d"
+  "rssi_loss_sweep"
+  "rssi_loss_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rssi_loss_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

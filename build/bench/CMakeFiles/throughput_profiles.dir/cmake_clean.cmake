@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_profiles.dir/throughput_profiles.cpp.o"
+  "CMakeFiles/throughput_profiles.dir/throughput_profiles.cpp.o.d"
+  "throughput_profiles"
+  "throughput_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

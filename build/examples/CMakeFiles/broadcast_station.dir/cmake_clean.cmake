@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_station.dir/broadcast_station.cpp.o"
+  "CMakeFiles/broadcast_station.dir/broadcast_station.cpp.o.d"
+  "broadcast_station"
+  "broadcast_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_reader.dir/offline_reader.cpp.o"
+  "CMakeFiles/offline_reader.dir/offline_reader.cpp.o.d"
+  "offline_reader"
+  "offline_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

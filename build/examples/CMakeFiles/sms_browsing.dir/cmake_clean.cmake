@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sms_browsing.dir/sms_browsing.cpp.o"
+  "CMakeFiles/sms_browsing.dir/sms_browsing.cpp.o.d"
+  "sms_browsing"
+  "sms_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sms_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_rx.dir/sonic_rx.cpp.o"
+  "CMakeFiles/sonic_rx.dir/sonic_rx.cpp.o.d"
+  "sonic_rx"
+  "sonic_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

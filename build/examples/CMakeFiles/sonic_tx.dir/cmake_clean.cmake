@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_tx.dir/sonic_tx.cpp.o"
+  "CMakeFiles/sonic_tx.dir/sonic_tx.cpp.o.d"
+  "sonic_tx"
+  "sonic_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

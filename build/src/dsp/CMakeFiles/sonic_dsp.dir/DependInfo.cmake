@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/sonic_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/sonic_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/sonic_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/sonic_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/sonic_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/sonic_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/sonic_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/sonic_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/resampler.cpp" "src/dsp/CMakeFiles/sonic_dsp.dir/resampler.cpp.o" "gcc" "src/dsp/CMakeFiles/sonic_dsp.dir/resampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/sonic_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/sonic_dsp.dir/fft.cpp.o"
+  "CMakeFiles/sonic_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/sonic_dsp.dir/fir.cpp.o"
+  "CMakeFiles/sonic_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/sonic_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/sonic_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/sonic_dsp.dir/resampler.cpp.o"
+  "CMakeFiles/sonic_dsp.dir/resampler.cpp.o.d"
+  "libsonic_dsp.a"
+  "libsonic_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

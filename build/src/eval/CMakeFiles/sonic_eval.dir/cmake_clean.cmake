@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_eval.dir/quality.cpp.o"
+  "CMakeFiles/sonic_eval.dir/quality.cpp.o.d"
+  "libsonic_eval.a"
+  "libsonic_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_fec.dir/convolutional.cpp.o"
+  "CMakeFiles/sonic_fec.dir/convolutional.cpp.o.d"
+  "CMakeFiles/sonic_fec.dir/crc32.cpp.o"
+  "CMakeFiles/sonic_fec.dir/crc32.cpp.o.d"
+  "CMakeFiles/sonic_fec.dir/interleaver.cpp.o"
+  "CMakeFiles/sonic_fec.dir/interleaver.cpp.o.d"
+  "CMakeFiles/sonic_fec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/sonic_fec.dir/reed_solomon.cpp.o.d"
+  "libsonic_fec.a"
+  "libsonic_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fm/acoustic.cpp" "src/fm/CMakeFiles/sonic_fm.dir/acoustic.cpp.o" "gcc" "src/fm/CMakeFiles/sonic_fm.dir/acoustic.cpp.o.d"
+  "/root/repo/src/fm/fm_modem.cpp" "src/fm/CMakeFiles/sonic_fm.dir/fm_modem.cpp.o" "gcc" "src/fm/CMakeFiles/sonic_fm.dir/fm_modem.cpp.o.d"
+  "/root/repo/src/fm/link.cpp" "src/fm/CMakeFiles/sonic_fm.dir/link.cpp.o" "gcc" "src/fm/CMakeFiles/sonic_fm.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sonic_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

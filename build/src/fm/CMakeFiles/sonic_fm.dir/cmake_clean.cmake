@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_fm.dir/acoustic.cpp.o"
+  "CMakeFiles/sonic_fm.dir/acoustic.cpp.o.d"
+  "CMakeFiles/sonic_fm.dir/fm_modem.cpp.o"
+  "CMakeFiles/sonic_fm.dir/fm_modem.cpp.o.d"
+  "CMakeFiles/sonic_fm.dir/link.cpp.o"
+  "CMakeFiles/sonic_fm.dir/link.cpp.o.d"
+  "libsonic_fm.a"
+  "libsonic_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

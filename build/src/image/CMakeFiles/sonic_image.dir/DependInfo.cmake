@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/column_codec.cpp" "src/image/CMakeFiles/sonic_image.dir/column_codec.cpp.o" "gcc" "src/image/CMakeFiles/sonic_image.dir/column_codec.cpp.o.d"
+  "/root/repo/src/image/dct_codec.cpp" "src/image/CMakeFiles/sonic_image.dir/dct_codec.cpp.o" "gcc" "src/image/CMakeFiles/sonic_image.dir/dct_codec.cpp.o.d"
+  "/root/repo/src/image/interpolate.cpp" "src/image/CMakeFiles/sonic_image.dir/interpolate.cpp.o" "gcc" "src/image/CMakeFiles/sonic_image.dir/interpolate.cpp.o.d"
+  "/root/repo/src/image/lossless.cpp" "src/image/CMakeFiles/sonic_image.dir/lossless.cpp.o" "gcc" "src/image/CMakeFiles/sonic_image.dir/lossless.cpp.o.d"
+  "/root/repo/src/image/raster.cpp" "src/image/CMakeFiles/sonic_image.dir/raster.cpp.o" "gcc" "src/image/CMakeFiles/sonic_image.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_image.dir/column_codec.cpp.o"
+  "CMakeFiles/sonic_image.dir/column_codec.cpp.o.d"
+  "CMakeFiles/sonic_image.dir/dct_codec.cpp.o"
+  "CMakeFiles/sonic_image.dir/dct_codec.cpp.o.d"
+  "CMakeFiles/sonic_image.dir/interpolate.cpp.o"
+  "CMakeFiles/sonic_image.dir/interpolate.cpp.o.d"
+  "CMakeFiles/sonic_image.dir/lossless.cpp.o"
+  "CMakeFiles/sonic_image.dir/lossless.cpp.o.d"
+  "CMakeFiles/sonic_image.dir/raster.cpp.o"
+  "CMakeFiles/sonic_image.dir/raster.cpp.o.d"
+  "libsonic_image.a"
+  "libsonic_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modem/fsk.cpp" "src/modem/CMakeFiles/sonic_modem.dir/fsk.cpp.o" "gcc" "src/modem/CMakeFiles/sonic_modem.dir/fsk.cpp.o.d"
+  "/root/repo/src/modem/ofdm.cpp" "src/modem/CMakeFiles/sonic_modem.dir/ofdm.cpp.o" "gcc" "src/modem/CMakeFiles/sonic_modem.dir/ofdm.cpp.o.d"
+  "/root/repo/src/modem/packet.cpp" "src/modem/CMakeFiles/sonic_modem.dir/packet.cpp.o" "gcc" "src/modem/CMakeFiles/sonic_modem.dir/packet.cpp.o.d"
+  "/root/repo/src/modem/profile.cpp" "src/modem/CMakeFiles/sonic_modem.dir/profile.cpp.o" "gcc" "src/modem/CMakeFiles/sonic_modem.dir/profile.cpp.o.d"
+  "/root/repo/src/modem/qam.cpp" "src/modem/CMakeFiles/sonic_modem.dir/qam.cpp.o" "gcc" "src/modem/CMakeFiles/sonic_modem.dir/qam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sonic_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sonic_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_modem.dir/fsk.cpp.o"
+  "CMakeFiles/sonic_modem.dir/fsk.cpp.o.d"
+  "CMakeFiles/sonic_modem.dir/ofdm.cpp.o"
+  "CMakeFiles/sonic_modem.dir/ofdm.cpp.o.d"
+  "CMakeFiles/sonic_modem.dir/packet.cpp.o"
+  "CMakeFiles/sonic_modem.dir/packet.cpp.o.d"
+  "CMakeFiles/sonic_modem.dir/profile.cpp.o"
+  "CMakeFiles/sonic_modem.dir/profile.cpp.o.d"
+  "CMakeFiles/sonic_modem.dir/qam.cpp.o"
+  "CMakeFiles/sonic_modem.dir/qam.cpp.o.d"
+  "libsonic_modem.a"
+  "libsonic_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_sms.dir/sms.cpp.o"
+  "CMakeFiles/sonic_sms.dir/sms.cpp.o.d"
+  "libsonic_sms.a"
+  "libsonic_sms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_sms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_core.dir/cache.cpp.o"
+  "CMakeFiles/sonic_core.dir/cache.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/client.cpp.o"
+  "CMakeFiles/sonic_core.dir/client.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/framing.cpp.o"
+  "CMakeFiles/sonic_core.dir/framing.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/scheduler.cpp.o"
+  "CMakeFiles/sonic_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/server.cpp.o"
+  "CMakeFiles/sonic_core.dir/server.cpp.o.d"
+  "libsonic_core.a"
+  "libsonic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

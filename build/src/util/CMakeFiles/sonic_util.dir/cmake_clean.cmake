@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_util.dir/bytes.cpp.o"
+  "CMakeFiles/sonic_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sonic_util.dir/log.cpp.o"
+  "CMakeFiles/sonic_util.dir/log.cpp.o.d"
+  "CMakeFiles/sonic_util.dir/rng.cpp.o"
+  "CMakeFiles/sonic_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sonic_util.dir/wav.cpp.o"
+  "CMakeFiles/sonic_util.dir/wav.cpp.o.d"
+  "libsonic_util.a"
+  "libsonic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

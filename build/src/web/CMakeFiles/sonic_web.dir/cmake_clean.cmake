@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_web.dir/corpus.cpp.o"
+  "CMakeFiles/sonic_web.dir/corpus.cpp.o.d"
+  "CMakeFiles/sonic_web.dir/font.cpp.o"
+  "CMakeFiles/sonic_web.dir/font.cpp.o.d"
+  "CMakeFiles/sonic_web.dir/html.cpp.o"
+  "CMakeFiles/sonic_web.dir/html.cpp.o.d"
+  "CMakeFiles/sonic_web.dir/layout.cpp.o"
+  "CMakeFiles/sonic_web.dir/layout.cpp.o.d"
+  "libsonic_web.a"
+  "libsonic_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp_test.cpp" "tests/CMakeFiles/sonic_tests.dir/dsp_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/dsp_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/sonic_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/sonic_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fec_test.cpp" "tests/CMakeFiles/sonic_tests.dir/fec_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/fec_test.cpp.o.d"
+  "/root/repo/tests/fm_test.cpp" "tests/CMakeFiles/sonic_tests.dir/fm_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/fm_test.cpp.o.d"
+  "/root/repo/tests/image_test.cpp" "tests/CMakeFiles/sonic_tests.dir/image_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/image_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/sonic_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/modem_test.cpp" "tests/CMakeFiles/sonic_tests.dir/modem_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/modem_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sonic_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sms_test.cpp" "tests/CMakeFiles/sonic_tests.dir/sms_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/sms_test.cpp.o.d"
+  "/root/repo/tests/sonic_core_test.cpp" "tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/sonic_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/web_test.cpp" "tests/CMakeFiles/sonic_tests.dir/web_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/web_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sonic_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sonic_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/sonic_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/sonic_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sonic_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/sonic_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/sonic_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sonic_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sonic/CMakeFiles/sonic_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonic_tests.dir/dsp_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/dsp_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/eval_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/eval_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/fec_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/fec_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/fm_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/fm_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/image_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/image_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/modem_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/modem_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/property_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/sms_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/sms_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/util_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/util_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/web_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/web_test.cpp.o.d"
+  "sonic_tests"
+  "sonic_tests.pdb"
+  "sonic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
