@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "image/dct_codec.hpp"
+#include "sonic/metrics.hpp"
 #include "sonic/scheduler.hpp"
 #include "util/rng.hpp"
 #include "web/corpus.hpp"
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   series.push_back({"Rate:20kbps N:200", 20000.0, false, &corpus200, &sizes200,
                     core::BroadcastScheduler({10000.0, 2}), {}});
 
+  core::Metrics metrics;
   util::Rng jitter_rng(seed);
   for (int hour = 0; hour < hours; ++hour) {
     for (auto& s : series) {
@@ -97,10 +99,15 @@ int main(int argc, char** argv) {
         const int ver = s.corpus->version(pages[i], hour);
         util::Rng rng(seed ^ (i * 0x9e3779b97f4a7c15ull) ^ (static_cast<std::uint64_t>(ver) << 20));
         const double factor = std::exp(rng.normal(0.0, 0.10));
-        s.sched.enqueue(pages[i].url, static_cast<std::size_t>(static_cast<double>((*s.sizes)[i]) * factor),
-                        hour * 3600.0);
+        const auto bytes = static_cast<std::size_t>(static_cast<double>((*s.sizes)[i]) * factor);
+        s.sched.enqueue(pages[i].url, bytes, hour * 3600.0);
+        metrics.counter(std::string(s.label) + " pages").add();
+        metrics.counter(std::string(s.label) + " bytes").add(bytes);
       }
-      s.sched.advance((hour + 1) * 3600.0);
+      for (const auto& item : s.sched.advance((hour + 1) * 3600.0)) {
+        metrics.histogram(std::string(s.label) + " queue_wait_s")
+            .observe(item.completed_at_s - item.enqueued_at_s);
+      }
       s.backlog_mb.push_back(s.sched.backlog_bytes() / 1e6);
     }
   }
@@ -128,5 +135,6 @@ int main(int argc, char** argv) {
                 drains == s.paper_drains ? "ok" : "MISMATCH");
   }
   std::printf("  the amount of data does not grow indefinitely: SONIC is scalable (§4)\n");
+  std::printf("\nscheduler metrics (per series):\n%s", metrics.report().c_str());
   return 0;
 }

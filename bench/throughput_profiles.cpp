@@ -19,12 +19,15 @@ using namespace sonic;
 int main(int argc, char** argv) {
   const int frames = bench::arg_int(argc, argv, "--frames", 16);
 
-  std::printf("SONIC transmission profiles (92-subcarrier OFDM unless noted)\n\n");
+  std::printf("SONIC transmission profiles (92-subcarrier OFDM unless noted)\n");
+  std::printf("registry rungs:");
+  for (const auto& name : modem::profiles::names()) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
   std::printf("%-12s %-9s %-5s %-4s %9s %9s %10s %8s\n", "profile", "constel", "conv", "rs",
               "raw kbps", "net kbps", "band (Hz)", "loopback");
 
   util::Rng rng(1);
-  for (const auto& profile : modem::all_profiles()) {
+  for (const auto& profile : modem::profiles::all()) {
     modem::OfdmModem modem(profile);
     std::vector<util::Bytes> payload;
     for (int i = 0; i < frames; ++i) {
@@ -65,13 +68,13 @@ int main(int argc, char** argv) {
               fsk_rx && *fsk_rx == small ? "ok" : "FAIL");
 
   std::printf("\nchecks against the paper:\n");
-  const auto sonic = modem::profile_sonic10k();
+  const auto sonic = *modem::profiles::get("sonic-10k");
   std::printf("  sonic-10k net rate %.1f kbps (paper: \"data rates ... reach 10 kbps\")\n",
               sonic.net_bit_rate(100, frames) / 1000.0);
   std::printf("  92 subcarriers at %.1f kHz carrier inside the FM mono band (30 Hz-15 kHz)\n",
               sonic.carrier_hz / 1000.0);
   std::printf("  cable-64k net %.1f kbps (Quiet: \"up to 64 kbps ... audio jack cable\")\n",
-              modem::profile_cable64k().net_bit_rate(1000, 8) / 1000.0);
+              modem::profiles::get("cable-64k")->net_bit_rate(1000, 8) / 1000.0);
   std::printf("  FSK baseline %.0f bps: the §2 motivation for OFDM (GGwave-class ~128 bps)\n",
               fsk.bit_rate());
 

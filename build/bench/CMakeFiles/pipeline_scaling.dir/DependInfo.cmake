@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/pipeline_scaling.cpp" "bench/CMakeFiles/pipeline_scaling.dir/pipeline_scaling.cpp.o" "gcc" "bench/CMakeFiles/pipeline_scaling.dir/pipeline_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sonic/CMakeFiles/sonic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sonic_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/sonic_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/sonic_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/sonic_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/sonic_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/sonic_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sonic_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sonic_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -11,6 +11,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sonic/cache.cpp" "src/sonic/CMakeFiles/sonic_core.dir/cache.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/cache.cpp.o.d"
   "/root/repo/src/sonic/client.cpp" "src/sonic/CMakeFiles/sonic_core.dir/client.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/client.cpp.o.d"
   "/root/repo/src/sonic/framing.cpp" "src/sonic/CMakeFiles/sonic_core.dir/framing.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/framing.cpp.o.d"
+  "/root/repo/src/sonic/metrics.cpp" "src/sonic/CMakeFiles/sonic_core.dir/metrics.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/sonic/pipeline.cpp" "src/sonic/CMakeFiles/sonic_core.dir/pipeline.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/pipeline.cpp.o.d"
   "/root/repo/src/sonic/scheduler.cpp" "src/sonic/CMakeFiles/sonic_core.dir/scheduler.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/scheduler.cpp.o.d"
   "/root/repo/src/sonic/server.cpp" "src/sonic/CMakeFiles/sonic_core.dir/server.cpp.o" "gcc" "src/sonic/CMakeFiles/sonic_core.dir/server.cpp.o.d"
   )

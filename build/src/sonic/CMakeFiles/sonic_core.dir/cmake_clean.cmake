@@ -5,6 +5,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/sonic_core.dir/client.cpp.o.d"
   "CMakeFiles/sonic_core.dir/framing.cpp.o"
   "CMakeFiles/sonic_core.dir/framing.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/metrics.cpp.o"
+  "CMakeFiles/sonic_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/sonic_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sonic_core.dir/pipeline.cpp.o.d"
   "CMakeFiles/sonic_core.dir/scheduler.cpp.o"
   "CMakeFiles/sonic_core.dir/scheduler.cpp.o.d"
   "CMakeFiles/sonic_core.dir/server.cpp.o"

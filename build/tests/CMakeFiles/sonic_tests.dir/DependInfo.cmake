@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/image_test.cpp" "tests/CMakeFiles/sonic_tests.dir/image_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/image_test.cpp.o.d"
   "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/sonic_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/integration_test.cpp.o.d"
   "/root/repo/tests/modem_test.cpp" "tests/CMakeFiles/sonic_tests.dir/modem_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/modem_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/sonic_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/pipeline_test.cpp.o.d"
   "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sonic_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/property_test.cpp.o.d"
   "/root/repo/tests/sms_test.cpp" "tests/CMakeFiles/sonic_tests.dir/sms_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/sms_test.cpp.o.d"
   "/root/repo/tests/sonic_core_test.cpp" "tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o" "gcc" "tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o.d"

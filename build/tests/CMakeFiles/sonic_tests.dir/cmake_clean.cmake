@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sonic_tests.dir/integration_test.cpp.o.d"
   "CMakeFiles/sonic_tests.dir/modem_test.cpp.o"
   "CMakeFiles/sonic_tests.dir/modem_test.cpp.o.d"
+  "CMakeFiles/sonic_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/sonic_tests.dir/pipeline_test.cpp.o.d"
   "CMakeFiles/sonic_tests.dir/property_test.cpp.o"
   "CMakeFiles/sonic_tests.dir/property_test.cpp.o.d"
   "CMakeFiles/sonic_tests.dir/sms_test.cpp.o"

@@ -325,7 +325,19 @@ tests/CMakeFiles/sonic_tests.dir/integration_test.cpp.o: \
  /root/repo/src/image/raster.hpp /root/repo/src/sms/sms.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sonic/cache.hpp \
- /root/repo/src/sonic/framing.hpp /root/repo/src/image/column_codec.hpp \
- /root/repo/src/web/layout.hpp /root/repo/src/web/html.hpp \
- /root/repo/src/sonic/server.hpp /root/repo/src/sonic/scheduler.hpp \
- /root/repo/src/web/corpus.hpp
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sonic/framing.hpp \
+ /root/repo/src/image/column_codec.hpp /root/repo/src/web/layout.hpp \
+ /root/repo/src/web/html.hpp /root/repo/src/sonic/server.hpp \
+ /root/repo/src/sonic/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sonic/pipeline.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/web/corpus.hpp \
+ /root/repo/src/sonic/scheduler.hpp

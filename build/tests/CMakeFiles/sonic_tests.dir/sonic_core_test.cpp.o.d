@@ -296,16 +296,18 @@ tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sonic/cache.hpp /root/repo/src/sonic/framing.hpp \
- /usr/include/c++/12/span /root/repo/src/image/column_codec.hpp \
- /root/repo/src/image/raster.hpp /root/repo/src/util/bytes.hpp \
- /root/repo/src/image/interpolate.hpp /root/repo/src/web/layout.hpp \
- /root/repo/src/web/html.hpp /root/repo/src/sonic/client.hpp \
- /root/repo/src/modem/ofdm.hpp /root/repo/src/modem/packet.hpp \
- /root/repo/src/fec/convolutional.hpp /root/repo/src/fec/reed_solomon.hpp \
- /root/repo/src/modem/profile.hpp /root/repo/src/modem/qam.hpp \
- /usr/include/c++/12/complex /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sonic/cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/sonic/framing.hpp /usr/include/c++/12/span \
+ /root/repo/src/image/column_codec.hpp /root/repo/src/image/raster.hpp \
+ /root/repo/src/util/bytes.hpp /root/repo/src/image/interpolate.hpp \
+ /root/repo/src/web/layout.hpp /root/repo/src/web/html.hpp \
+ /root/repo/src/sonic/client.hpp /root/repo/src/modem/ofdm.hpp \
+ /root/repo/src/modem/packet.hpp /root/repo/src/fec/convolutional.hpp \
+ /root/repo/src/fec/reed_solomon.hpp /root/repo/src/modem/profile.hpp \
+ /root/repo/src/modem/qam.hpp /usr/include/c++/12/complex \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -329,4 +331,14 @@ tests/CMakeFiles/sonic_tests.dir/sonic_core_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/rng.hpp \
  /root/repo/src/sonic/scheduler.hpp /root/repo/src/sonic/server.hpp \
- /root/repo/src/web/corpus.hpp
+ /root/repo/src/sonic/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sonic/pipeline.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/web/corpus.hpp

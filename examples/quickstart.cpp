@@ -26,7 +26,7 @@ namespace {
 // returns the frames the client's modem decoded.
 std::vector<util::Bytes> deliver(const core::PageBundle& bundle, double distance_m,
                                  std::uint64_t seed) {
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   fm::FmLinkConfig cfg;
   cfg.rf.rssi_db = -70.0;
   cfg.acoustic.distance_m = distance_m;
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
 
   // 2. Frame it for broadcast (§3.3: 100-byte frames, quality-10 codec).
   const auto bundle = core::make_bundle(1, ref.url, rendered, {10, 94});
-  const auto profile = modem::profile_sonic10k();
+  const auto profile = *modem::profiles::get("sonic-10k");
   std::printf("  transport:   %zu frames (%zu bytes), ~%.0f s on air at %.1f kbps\n",
               bundle.frames.size(), bundle.total_bytes(),
               bundle.total_bytes() * 8.0 / profile.net_bit_rate(),

@@ -25,10 +25,8 @@ const char* arg_str(int argc, char** argv, const char* name, const char* fallbac
 }
 
 modem::OfdmProfile profile_by_name(const std::string& name) {
-  for (const auto& p : modem::all_profiles()) {
-    if (p.name == name) return p;
-  }
-  return modem::profile_sonic10k();
+  if (const auto p = modem::profiles::get(name)) return *p;
+  return *modem::profiles::get("sonic-10k");
 }
 
 }  // namespace

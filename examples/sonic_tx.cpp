@@ -29,11 +29,9 @@ const char* arg_str(int argc, char** argv, const char* name, const char* fallbac
 }
 
 modem::OfdmProfile profile_by_name(const std::string& name) {
-  for (const auto& p : modem::all_profiles()) {
-    if (p.name == name) return p;
-  }
+  if (const auto p = modem::profiles::get(name)) return *p;
   std::fprintf(stderr, "unknown profile '%s', using sonic-10k\n", name.c_str());
-  return modem::profile_sonic10k();
+  return *modem::profiles::get("sonic-10k");
 }
 
 }  // namespace

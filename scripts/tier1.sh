@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then the
+# broadcast-pipeline and metrics tests rebuilt and rerun under
+# ThreadSanitizer (cmake -DSONIC_TSAN=ON) to catch data races in the
+# pipeline's worker pool.
+#
+#   scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier-1: pipeline tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DSONIC_TSAN=ON
+cmake --build build-tsan -j "$JOBS" --target sonic_tests
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Pipeline|Metrics|ServerShards|Scheduler\.'
+
+echo "tier-1 OK"

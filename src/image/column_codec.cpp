@@ -4,6 +4,11 @@
 #include <cmath>
 
 namespace sonic::image {
+
+std::string ColumnCodecParams::fingerprint() const {
+  return "q" + std::to_string(quality) + "b" + std::to_string(payload_budget);
+}
+
 namespace {
 
 // Exp-Golomb helpers (shared convention with the swebp entropy coder).

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "image/raster.hpp"
@@ -33,6 +34,12 @@ struct ColumnCodecParams {
   int quality = 10;         // §3.2: WebP quality 10 operating point
   int payload_budget = 94;  // coded bytes per segment; with the 6-byte
                             // segment header this fills a 100-byte frame
+
+  // Compact fingerprint of the knobs that change the coded bytes — part of
+  // the broadcast pipeline's encode-cache key.
+  std::string fingerprint() const;
+
+  bool operator==(const ColumnCodecParams&) const = default;
 };
 
 // Splits the image into per-column segments, each fitting the budget.

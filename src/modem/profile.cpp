@@ -1,6 +1,10 @@
 #include "modem/profile.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
 
 namespace sonic::modem {
 
@@ -44,7 +48,9 @@ double OfdmProfile::net_bit_rate(std::size_t payload_bytes, int frames_per_burst
          (static_cast<double>(total_symbols) * symbol_duration_s());
 }
 
-OfdmProfile profile_sonic10k() {
+namespace {
+
+OfdmProfile make_sonic10k() {
   OfdmProfile p;
   p.name = "sonic-10k";
   p.constellation = Constellation::kQam64;
@@ -53,7 +59,7 @@ OfdmProfile profile_sonic10k() {
   return p;
 }
 
-OfdmProfile profile_audible7k() {
+OfdmProfile make_audible7k() {
   OfdmProfile p;
   p.name = "audible-7k";
   p.constellation = Constellation::kQam16;
@@ -62,7 +68,7 @@ OfdmProfile profile_audible7k() {
   return p;
 }
 
-OfdmProfile profile_robust2k() {
+OfdmProfile make_robust2k() {
   OfdmProfile p;
   p.name = "robust-2k";
   p.constellation = Constellation::kQpsk;
@@ -71,7 +77,7 @@ OfdmProfile profile_robust2k() {
   return p;
 }
 
-OfdmProfile profile_cable64k() {
+OfdmProfile make_cable64k() {
   OfdmProfile p;
   p.name = "cable-64k";
   p.fft_size = 1024;
@@ -84,8 +90,89 @@ OfdmProfile profile_cable64k() {
   return p;
 }
 
-std::vector<OfdmProfile> all_profiles() {
-  return {profile_robust2k(), profile_audible7k(), profile_sonic10k(), profile_cable64k()};
+}  // namespace
+
+namespace profiles {
+namespace {
+
+// Loose matching: lowercase, alphanumerics only, so "sonic-10k" ==
+// "sonic10k" == "SONIC 10K".
+std::string canon(const std::string& name) {
+  std::string key;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return key;
 }
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> order;             // display names, registration order
+  std::map<std::string, OfdmProfile> by_key;  // canon(name) -> profile
+
+  void insert_locked(const OfdmProfile& p) {
+    const std::string key = canon(p.name);
+    if (by_key.find(key) == by_key.end()) order.push_back(p.name);
+    by_key[key] = p;
+  }
+};
+
+Registry& registry() {
+  // Built-ins registered on first touch, slowest rung first (the order
+  // all_profiles() has always reported).
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->insert_locked(make_robust2k());
+    reg->insert_locked(make_audible7k());
+    reg->insert_locked(make_sonic10k());
+    reg->insert_locked(make_cable64k());
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+std::optional<OfdmProfile> get(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.by_key.find(canon(name));
+  if (it == reg.by_key.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.order;
+}
+
+void register_profile(const OfdmProfile& profile) {
+  if (canon(profile.name).empty()) {
+    throw std::invalid_argument("profile name must contain at least one alphanumeric character");
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.insert_locked(profile);
+}
+
+std::vector<OfdmProfile> all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<OfdmProfile> out;
+  for (const std::string& name : reg.order) out.push_back(reg.by_key.at(canon(name)));
+  return out;
+}
+
+}  // namespace profiles
+
+OfdmProfile profile_sonic10k() { return make_sonic10k(); }
+OfdmProfile profile_audible7k() { return make_audible7k(); }
+OfdmProfile profile_robust2k() { return make_robust2k(); }
+OfdmProfile profile_cable64k() { return make_cable64k(); }
+
+std::vector<OfdmProfile> all_profiles() { return profiles::all(); }
 
 }  // namespace sonic::modem

@@ -5,6 +5,7 @@
 // provide the comparison rungs used by the benchmarks.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,16 +45,49 @@ struct OfdmProfile {
   double subcarrier_spacing_hz() const { return sample_rate / fft_size; }
 };
 
+// Name-addressed profile registry — the API for selecting a rate/robustness
+// operating point at runtime (acoustic-modem surveys show these rungs must
+// be swappable in the field). Names are matched loosely: lookup ignores
+// case and punctuation, so "sonic-10k", "sonic10k" and "SONIC 10K" all
+// resolve the same rung. The four built-in rungs (robust-2k, audible-7k,
+// sonic-10k, cable-64k) are pre-registered; custom rungs can be added with
+// register_profile(). All functions are thread-safe.
+namespace profiles {
+
+// The profile registered under `name`, or nullopt.
+std::optional<OfdmProfile> get(const std::string& name);
+
+// Registered display names, in registration order (built-ins first, slowest
+// to fastest).
+std::vector<std::string> names();
+
+// Registers (or replaces) a profile under its own `name`. Throws
+// std::invalid_argument when the name is empty or all punctuation.
+void register_profile(const OfdmProfile& profile);
+
+// Every registered profile, in registration order.
+std::vector<OfdmProfile> all();
+
+}  // namespace profiles
+
+// Deprecated free-function wrappers, kept so existing call sites compile;
+// new code should use modem::profiles::get("<name>").
+
 // The paper's profile: ≈10 kbps net over the FM mono channel.
+// Deprecated: use profiles::get("sonic-10k").
 OfdmProfile profile_sonic10k();
 // A Quiet "audible-7k-channel"-like rung: 16-QAM, rate-1/2.
+// Deprecated: use profiles::get("audible-7k").
 OfdmProfile profile_audible7k();
 // Very robust low-rate rung for weak receivers: QPSK, rate-1/2, RS-heavy.
+// Deprecated: use profiles::get("robust-2k").
 OfdmProfile profile_robust2k();
 // Audio-jack profile mirroring Quiet's 64 kbps cable claim: wideband,
 // dense constellation (cable has no acoustic distortion).
+// Deprecated: use profiles::get("cable-64k").
 OfdmProfile profile_cable64k();
 
+// Deprecated: use profiles::all().
 std::vector<OfdmProfile> all_profiles();
 
 }  // namespace sonic::modem

@@ -56,4 +56,37 @@ void PageCache::evict_expired(double now_s) {
   }
 }
 
+BundleCache::BundleCache(std::size_t max_pages) : max_pages_(max_pages) {}
+
+std::shared_ptr<const PageBundle> BundleCache::get(const std::string& key, int version) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.version != version) {
+    // The page content rotated since this render: the entry can never hit
+    // again, so reclaim its slot now.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.bundle;
+}
+
+void BundleCache::put(const std::string& key, int version, std::shared_ptr<const PageBundle> bundle) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.version = version;
+    it->second.bundle = std::move(bundle);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{version, std::move(bundle), lru_.begin()};
+  while (max_pages_ > 0 && entries_.size() > max_pages_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 }  // namespace sonic::core

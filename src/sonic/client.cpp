@@ -1,9 +1,34 @@
 #include "sonic/client.hpp"
 
+#include <stdexcept>
+
 namespace sonic::core {
+namespace {
+
+SonicClient::Params validated(SonicClient::Params params) {
+  const auto errors = params.validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid SonicClient::Params:";
+    for (const auto& e : errors) msg += "\n  - " + e;
+    throw std::invalid_argument(msg);
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::string> SonicClient::Params::validate() const {
+  std::vector<std::string> errors;
+  if (server_number.empty()) errors.push_back("server_number must not be empty");
+  if (device_width <= 0) {
+    errors.push_back("device_width must be positive (got " + std::to_string(device_width) + ")");
+  }
+  if (cache_pages == 0) errors.push_back("cache_pages must be nonzero (a cache of 0 pages can never hold a broadcast)");
+  return errors;
+}
 
 SonicClient::SonicClient(sms::SmsGateway* gateway, Params params)
-    : gateway_(gateway), params_(std::move(params)), cache_(params_.cache_pages) {}
+    : gateway_(gateway), params_(validated(std::move(params))), cache_(params_.cache_pages) {}
 
 void SonicClient::on_frame(std::span<const std::uint8_t> frame) {
   assembler_.push(frame);

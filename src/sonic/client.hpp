@@ -27,6 +27,11 @@ class SonicClient {
     int device_width = 360;            // Xiaomi Redmi Go class screen
     image::InterpolationMode interpolation = image::InterpolationMode::kLeft;
     std::size_t cache_pages = 64;
+
+    // Descriptive configuration errors; empty when sane. The constructor
+    // calls this and throws std::invalid_argument on nonsense (zero-width
+    // device, empty server number, cache that can hold no pages).
+    std::vector<std::string> validate() const;
   };
 
   // `gateway` may be null for downlink-only users.

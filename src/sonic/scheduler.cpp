@@ -57,8 +57,17 @@ double BroadcastScheduler::backlog_bytes() const {
   return total;
 }
 
-double BroadcastScheduler::eta_s(std::size_t bytes) const {
-  return (backlog_bytes() + static_cast<double>(bytes)) * 8.0 / aggregate_rate_bps();
+double BroadcastScheduler::eta_s(std::size_t bytes) const { return eta_s(bytes, now_s_); }
+
+double BroadcastScheduler::eta_s(std::size_t bytes, double now_s) const {
+  // advance() is work-conserving at the aggregate rate, so by now_s it will
+  // have moved (now_s - now_s_) * rate bytes of the current backlog
+  // (in-flight remainder included), clamped at empty.
+  double backlog = backlog_bytes();
+  if (now_s > now_s_) {
+    backlog = std::max(0.0, backlog - (now_s - now_s_) * aggregate_rate_bps() / 8.0);
+  }
+  return (backlog + static_cast<double>(bytes)) * 8.0 / aggregate_rate_bps();
 }
 
 }  // namespace sonic::core

@@ -1,6 +1,9 @@
 #include "sonic/server.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <stdexcept>
 
 namespace sonic::core {
 namespace {
@@ -13,13 +16,58 @@ double distance_km(double lat1, double lon1, double lat2, double lon2) {
   return std::sqrt(dlat * dlat + dlon * dlon);
 }
 
+SonicServer::Params validated(SonicServer::Params params) {
+  const auto errors = params.validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid SonicServer::Params:";
+    for (const auto& e : errors) msg += "\n  - " + e;
+    throw std::invalid_argument(msg);
+  }
+  return params;
+}
+
+BroadcastPipeline::Params pipeline_params(const SonicServer::Params& p) {
+  BroadcastPipeline::Params pp;
+  pp.layout = p.layout;
+  pp.codec = p.codec;
+  pp.page_expiry_s = p.page_expiry_s;
+  pp.cache_pages = p.render_cache_pages;
+  pp.num_threads = p.render_threads;
+  return pp;
+}
+
 }  // namespace
+
+std::vector<std::string> SonicServer::Params::validate() const {
+  std::vector<std::string> errors;
+  if (phone_number.empty()) errors.push_back("phone_number must not be empty");
+  if (!(rate_bps > 0.0)) errors.push_back("rate_bps must be positive (got " + std::to_string(rate_bps) + ")");
+  if (num_frequencies <= 0) {
+    errors.push_back("num_frequencies must be >= 1 (got " + std::to_string(num_frequencies) + ")");
+  }
+  if (transmitters.empty()) errors.push_back("transmitters must not be empty (nothing to broadcast from)");
+  std::set<std::string> names;
+  for (const Transmitter& t : transmitters) {
+    if (t.name.empty()) errors.push_back("every transmitter needs a name (shard key)");
+    if (!names.insert(t.name).second) errors.push_back("duplicate transmitter name '" + t.name + "'");
+    if (!(t.range_km > 0.0)) errors.push_back("transmitter '" + t.name + "' range_km must be positive");
+  }
+  if (page_expiry_s == 0) errors.push_back("page_expiry_s must be nonzero");
+  for (const auto& e : pipeline_params(*this).validate()) errors.push_back(e);
+  return errors;
+}
 
 SonicServer::SonicServer(const web::PkCorpus* corpus, sms::SmsGateway* gateway, Params params)
     : corpus_(corpus),
       gateway_(gateway),
-      params_(std::move(params)),
-      scheduler_({params_.rate_bps, params_.num_frequencies}) {}
+      params_(validated(std::move(params))),
+      metrics_(std::make_unique<Metrics>()),
+      pipeline_(corpus_, pipeline_params(params_), metrics_.get()) {
+  shards_.reserve(params_.transmitters.size());
+  for (std::size_t i = 0; i < params_.transmitters.size(); ++i) {
+    shards_.emplace_back(BroadcastScheduler::Params{params_.rate_bps, params_.num_frequencies});
+  }
+}
 
 const Transmitter* SonicServer::route(double lat, double lon) const {
   const Transmitter* best = nullptr;
@@ -34,46 +82,30 @@ const Transmitter* SonicServer::route(double lat, double lon) const {
   return best;
 }
 
-const PageBundle* SonicServer::bundle_for(const std::string& url, double now_s) {
-  const int epoch = static_cast<int>(now_s / 3600.0);
-  if (url.rfind("search:", 0) == 0) {
-    // Search results page: regenerated when the underlying results rotate
-    // (every 6 hours in the corpus model).
-    const std::string query = url.substr(7);
-    const int version = epoch / 6;
-    auto it = render_cache_.find(url);
-    if (it != render_cache_.end() && it->second.version == version) {
-      ++cache_hits_;
-      return &it->second.bundle;
-    }
-    ++renders_;
-    const auto page = web::render_html(corpus_->search_html(query, epoch), params_.layout);
-    RenderedPage rendered;
-    rendered.version = version;
-    rendered.bundle = make_bundle(next_page_id_++, url, page, params_.codec, params_.page_expiry_s);
-    auto [slot, inserted] = render_cache_.insert_or_assign(url, std::move(rendered));
-    (void)inserted;
-    return &slot->second.bundle;
+std::size_t SonicServer::shard_of(const Transmitter& tx) const {
+  for (std::size_t i = 0; i < params_.transmitters.size(); ++i) {
+    if (params_.transmitters[i].name == tx.name) return i;
   }
+  return 0;  // unreachable for transmitters returned by route()
+}
 
-  const web::PageRef* ref = corpus_->find(url);
-  if (!ref) return nullptr;
-  const int version = corpus_->version(*ref, epoch);
-  auto it = render_cache_.find(ref->url);
-  if (it != render_cache_.end() && it->second.version == version) {
-    // §3.1: "either from its cache, e.g., if recently requested by another
-    // user, or by directly accessing it".
-    ++cache_hits_;
-    return &it->second.bundle;
+const BroadcastScheduler* SonicServer::scheduler_for(const std::string& transmitter) const {
+  for (std::size_t i = 0; i < params_.transmitters.size(); ++i) {
+    if (params_.transmitters[i].name == transmitter) return &shards_[i];
   }
-  ++renders_;
-  const auto page = web::render_html(corpus_->html(*ref, epoch), params_.layout);
-  RenderedPage rendered;
-  rendered.version = version;
-  rendered.bundle = make_bundle(next_page_id_++, ref->url, page, params_.codec, params_.page_expiry_s);
-  auto [slot, inserted] = render_cache_.insert_or_assign(ref->url, std::move(rendered));
-  (void)inserted;
-  return &slot->second.bundle;
+  return nullptr;
+}
+
+double SonicServer::total_backlog_bytes() const {
+  double total = 0;
+  for (const BroadcastScheduler& s : shards_) total += s.backlog_bytes();
+  return total;
+}
+
+std::size_t SonicServer::total_queue_length() const {
+  std::size_t total = 0;
+  for (const BroadcastScheduler& s : shards_) total += s.queue_length();
+  return total;
 }
 
 void SonicServer::poll_sms(double now_s) {
@@ -90,15 +122,21 @@ void SonicServer::poll_sms(double now_s) {
     ack.url = request->url;
 
     const Transmitter* tx = route(request->lat, request->lon);
+    std::shared_ptr<const PageBundle> bundle;
+    if (tx) bundle = pipeline_.prepare_one(request->url, now_s);
     if (!tx) {
       ack.accepted = false;
       ack.reason = "no-coverage";
-    } else if (const PageBundle* bundle = bundle_for(request->url, now_s)) {
+    } else if (bundle) {
+      BroadcastScheduler& shard = shards_[shard_of(*tx)];
       ack.accepted = true;
       ack.frequency_mhz = tx->frequency_mhz;
-      ack.eta_s = scheduler_.eta_s(bundle->total_bytes());
-      scheduler_.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
+      // eta evaluated at now_s so the promise matches the shard's actual
+      // completion time even when the shard clock lags the SMS poll.
+      ack.eta_s = shard.eta_s(bundle->total_bytes(), now_s);
+      shard.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
       pending_route_[bundle->metadata.url] = *tx;
+      queued_bundles_[bundle->metadata.url] = std::move(bundle);
     } else {
       ack.accepted = false;
       ack.reason = "unknown-page";
@@ -107,30 +145,57 @@ void SonicServer::poll_sms(double now_s) {
   }
 }
 
-int SonicServer::push_pages(const std::vector<std::string>& urls, double now_s, int priority) {
+int SonicServer::push_to_shard(std::size_t shard, const std::vector<std::string>& urls,
+                               double now_s, int priority) {
   int enqueued = 0;
-  for (const std::string& url : urls) {
-    const PageBundle* bundle = bundle_for(url, now_s);
-    if (!bundle) continue;
-    scheduler_.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, priority);
-    if (!params_.transmitters.empty()) pending_route_[bundle->metadata.url] = params_.transmitters.front();
+  // One batch: cache misses render/encode in parallel on the pipeline pool.
+  for (auto& prepared : pipeline_.prepare(urls, now_s)) {
+    if (!prepared.bundle) continue;
+    const std::string& url = prepared.bundle->metadata.url;
+    shards_[shard].enqueue(url, prepared.bundle->total_bytes(), now_s, priority);
+    pending_route_[url] = params_.transmitters[shard];
+    queued_bundles_[url] = std::move(prepared.bundle);
     ++enqueued;
   }
   return enqueued;
 }
 
+int SonicServer::push_pages(const std::vector<std::string>& urls, double now_s, int priority) {
+  return push_to_shard(0, urls, now_s, priority);
+}
+
+int SonicServer::push_pages_to(const std::string& transmitter,
+                               const std::vector<std::string>& urls, double now_s, int priority) {
+  for (std::size_t i = 0; i < params_.transmitters.size(); ++i) {
+    if (params_.transmitters[i].name == transmitter) {
+      return push_to_shard(i, urls, now_s, priority);
+    }
+  }
+  return 0;
+}
+
 std::vector<CompletedBroadcast> SonicServer::advance(double now_s) {
   std::vector<CompletedBroadcast> out;
-  for (ScheduledItem& item : scheduler_.advance(now_s)) {
-    const auto cached = render_cache_.find(item.url);
-    if (cached == render_cache_.end()) continue;
-    CompletedBroadcast done;
-    const auto routed = pending_route_.find(item.url);
-    done.transmitter = routed != pending_route_.end() ? routed->second : params_.transmitters.front();
-    done.bundle = cached->second.bundle;
-    done.completed_at_s = item.completed_at_s;
-    out.push_back(std::move(done));
+  Histogram& queue_wait = metrics_->histogram("queue_wait_s");
+  Counter& pages_broadcast = metrics_->counter("pages_broadcast");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (ScheduledItem& item : shards_[i].advance(now_s)) {
+      const auto queued = queued_bundles_.find(item.url);
+      if (queued == queued_bundles_.end()) continue;
+      CompletedBroadcast done;
+      const auto routed = pending_route_.find(item.url);
+      done.transmitter = routed != pending_route_.end() ? routed->second : params_.transmitters[i];
+      done.bundle = *queued->second;
+      done.completed_at_s = item.completed_at_s;
+      queue_wait.observe(item.completed_at_s - item.enqueued_at_s);
+      pages_broadcast.add(1);
+      out.push_back(std::move(done));
+    }
   }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CompletedBroadcast& a, const CompletedBroadcast& b) {
+                     return a.completed_at_s < b.completed_at_s;
+                   });
   return out;
 }
 

@@ -2,10 +2,15 @@
 // webpages, routes them to the FM transmitter covering the requester, and
 // drives the broadcast schedule (user requests + preemptive popular-page
 // pushes). The "web" it fetches from is the synthetic corpus.
+//
+// Rendering/encoding/framing runs through a BroadcastPipeline (worker pool
+// + LRU render cache); each transmitter drains its own BroadcastScheduler
+// shard, so a backlog at one station no longer delays the others.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +18,8 @@
 #include "image/column_codec.hpp"
 #include "sms/sms.hpp"
 #include "sonic/framing.hpp"
+#include "sonic/metrics.hpp"
+#include "sonic/pipeline.hpp"
 #include "sonic/scheduler.hpp"
 #include "web/corpus.hpp"
 #include "web/layout.hpp"
@@ -40,12 +47,20 @@ class SonicServer {
  public:
   struct Params {
     std::string phone_number = "+92-SONIC";
-    double rate_bps = 10000.0;  // the verified sonic-10k rate
+    double rate_bps = 10000.0;  // the verified sonic-10k rate, per frequency
     int num_frequencies = 1;
     image::ColumnCodecParams codec{10, 94};  // §3.2: quality 10
     web::LayoutParams layout;                // 1080 x PH10k by default
     std::uint32_t page_expiry_s = 24 * 3600;
     std::vector<Transmitter> transmitters{Transmitter{}};
+    std::size_t render_cache_pages = 256;  // LRU capacity of the pipeline cache
+    int render_threads = 0;                // pipeline workers; 0 = serial
+
+    // Descriptive configuration errors (negative rate, zero frequencies,
+    // empty transmitter list, zero cache, ...); empty when sane. The
+    // constructor calls this and throws std::invalid_argument instead of
+    // silently accepting nonsense.
+    std::vector<std::string> validate() const;
   };
 
   SonicServer(const web::PkCorpus* corpus, sms::SmsGateway* gateway, Params params);
@@ -54,44 +69,61 @@ class SonicServer {
 
   // Polls the SMS gateway for page requests and search queries; ACKs (with
   // ETA + frequency) or NACKs each one and enqueues accepted pages for
-  // broadcast. Search queries ("SONIC ASK ...") produce a results page
-  // broadcast under the url "search:<query>".
+  // broadcast on the covering transmitter's shard. Search queries
+  // ("SONIC ASK ...") produce a results page broadcast under the url
+  // "search:<query>".
   void poll_sms(double now_s);
 
-  // Preemptively pushes pages (e.g. the popular-news morning push, §3.1).
-  // Unknown URLs are skipped; returns how many were enqueued.
+  // Preemptively pushes pages (e.g. the popular-news morning push, §3.1) on
+  // the first transmitter's shard; the whole batch renders in parallel on
+  // the pipeline. Unknown URLs are skipped; returns how many were enqueued.
   int push_pages(const std::vector<std::string>& urls, double now_s, int priority = 0);
 
-  // Advances the broadcast schedule; returns the page bundles whose
-  // transmission completed since the last call, ready for the modem.
+  // Same, targeted at one transmitter's shard (unknown name: returns 0).
+  int push_pages_to(const std::string& transmitter, const std::vector<std::string>& urls,
+                    double now_s, int priority = 0);
+
+  // Advances every shard's broadcast schedule; returns the page bundles
+  // whose transmission completed since the last call (sorted by completion
+  // time), ready for the modem.
   std::vector<CompletedBroadcast> advance(double now_s);
 
-  const BroadcastScheduler& scheduler() const { return scheduler_; }
-  std::size_t render_cache_hits() const { return cache_hits_; }
-  std::size_t renders() const { return renders_; }
+  // The first transmitter's shard — the whole schedule when only one
+  // transmitter is configured.
+  const BroadcastScheduler& scheduler() const { return shards_.front(); }
+  // Per-transmitter shard, or null for an unknown name.
+  const BroadcastScheduler* scheduler_for(const std::string& transmitter) const;
+
+  // Aggregates across all shards.
+  double total_backlog_bytes() const;
+  std::size_t total_queue_length() const;
+
+  std::size_t render_cache_hits() const { return metrics_->counter_value("render_cache_hits"); }
+  std::size_t renders() const { return metrics_->counter_value("pages_rendered"); }
+
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
+  const BroadcastPipeline& pipeline() const { return pipeline_; }
 
   // Finds the transmitter covering a location (§3.1: the request carries
   // the user's location so the proper transmitter can be informed).
   const Transmitter* route(double lat, double lon) const;
 
  private:
-  struct RenderedPage {
-    int version = 0;
-    PageBundle bundle;
-  };
-
-  // Renders (or reuses a cached render of) the page as of now.
-  const PageBundle* bundle_for(const std::string& url, double now_s);
+  std::size_t shard_of(const Transmitter& tx) const;
+  int push_to_shard(std::size_t shard, const std::vector<std::string>& urls, double now_s,
+                    int priority);
 
   const web::PkCorpus* corpus_;
   sms::SmsGateway* gateway_;
   Params params_;
-  BroadcastScheduler scheduler_;
-  std::map<std::string, RenderedPage> render_cache_;
+  std::unique_ptr<Metrics> metrics_;  // stable address for the pipeline
+  BroadcastPipeline pipeline_;
+  std::vector<BroadcastScheduler> shards_;  // parallel to params_.transmitters
   std::map<std::string, Transmitter> pending_route_;  // url -> transmitter
-  std::uint32_t next_page_id_ = 1;
-  std::size_t cache_hits_ = 0;
-  std::size_t renders_ = 0;
+  // Strong refs for everything enqueued, so an LRU eviction in the pipeline
+  // cache cannot drop a bundle that is still waiting for airtime.
+  std::map<std::string, std::shared_ptr<const PageBundle>> queued_bundles_;
 };
 
 }  // namespace sonic::core

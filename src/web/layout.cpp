@@ -6,6 +6,12 @@
 #include "web/font.hpp"
 
 namespace sonic::web {
+
+std::string LayoutParams::fingerprint() const {
+  return "w" + std::to_string(width) + "h" + std::to_string(max_height) + "m" +
+         std::to_string(margin) + "s" + std::to_string(text_scale);
+}
+
 namespace {
 
 constexpr int kHardHeightCeiling = 40000;

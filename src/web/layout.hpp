@@ -32,6 +32,12 @@ struct LayoutParams {
   int max_height = 10000; // §3.2: PH cap; 0 = unlimited ("PH: none")
   int margin = 24;
   int text_scale = 2;     // body text: 5x7 glyphs at 2x
+
+  // Compact fingerprint of every knob that changes the rendered raster —
+  // part of the broadcast pipeline's render-cache key.
+  std::string fingerprint() const;
+
+  bool operator==(const LayoutParams&) const = default;
 };
 
 RenderResult render_html(const Node& root, const LayoutParams& params = {});

@@ -225,6 +225,50 @@ TEST(Profiles, RateLadderIsOrdered) {
   EXPECT_GT(profile_cable64k().net_bit_rate(1000, 8), 40000.0);
 }
 
+TEST(ProfileRegistry, BuiltinsRegisteredSlowestFirst) {
+  const auto names = profiles::names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "robust-2k");
+  EXPECT_EQ(names[1], "audible-7k");
+  EXPECT_EQ(names[2], "sonic-10k");
+  EXPECT_EQ(names[3], "cable-64k");
+  // all_profiles() (the deprecated wrapper) reports the registry's ladder.
+  const auto all = all_profiles();
+  ASSERT_EQ(all.size(), names.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].name, names[i]);
+}
+
+TEST(ProfileRegistry, LookupIsLooseOnPunctuationAndCase) {
+  ASSERT_TRUE(profiles::get("sonic-10k").has_value());
+  ASSERT_TRUE(profiles::get("sonic10k").has_value());
+  ASSERT_TRUE(profiles::get("SONIC 10K").has_value());
+  EXPECT_EQ(profiles::get("sonic10k")->name, "sonic-10k");
+  EXPECT_EQ(profiles::get("sonic10k")->net_bit_rate(100, 16),
+            profile_sonic10k().net_bit_rate(100, 16));
+  EXPECT_FALSE(profiles::get("warp-1m").has_value());
+  EXPECT_FALSE(profiles::get("").has_value());
+}
+
+TEST(ProfileRegistry, RegisterCustomRung) {
+  OfdmProfile custom = *profiles::get("robust-2k");
+  custom.name = "test-custom-900";
+  custom.constellation = Constellation::kQpsk;
+  profiles::register_profile(custom);
+  const auto fetched = profiles::get("testcustom900");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->name, "test-custom-900");
+  // Re-registering under the same loose key replaces, not duplicates.
+  const auto count_before = profiles::names().size();
+  custom.rs_nroots = 8;
+  profiles::register_profile(custom);
+  EXPECT_EQ(profiles::names().size(), count_before);
+  EXPECT_EQ(profiles::get("test-custom-900")->rs_nroots, 8);
+
+  OfdmProfile unnamed = custom;
+  unnamed.name = "--- ---";
+  EXPECT_THROW(profiles::register_profile(unnamed), std::invalid_argument);
+}
+
 // ------------------------------------------------------------------ OFDM ---
 
 class OfdmLoopbackTest : public ::testing::TestWithParam<int> {};
