@@ -53,16 +53,16 @@ int main(int argc, char** argv) {
   };
   std::vector<Variant> variants;
   {
-    Variant v{"full (v29 3/4 + rs16 + il)", modem::profile_sonic10k()};
+    Variant v{"full (v29 3/4 + rs16 + il)", *modem::profiles::get("sonic-10k")};
     variants.push_back(v);
   }
   {
-    Variant v{"no-rs", modem::profile_sonic10k()};
+    Variant v{"no-rs", *modem::profiles::get("sonic-10k")};
     v.profile.rs_nroots = 0;
     variants.push_back(v);
   }
   {
-    Variant v{"r12-heavy (v29 1/2 + rs32)", modem::profile_sonic10k()};
+    Variant v{"r12-heavy (v29 1/2 + rs32)", *modem::profiles::get("sonic-10k")};
     v.profile.conv.rate = fec::PunctureRate::kRate1_2;
     v.profile.rs_nroots = 32;
     variants.push_back(v);

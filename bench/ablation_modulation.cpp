@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  const auto sonic10k = modem::profile_sonic10k();
+  const auto sonic10k = *modem::profiles::get("sonic-10k");
   rows.push_back({"sonic-10k OFDM", sonic10k.net_bit_rate(100, 16),
                   sonic10k.first_bin() * sonic10k.subcarrier_spacing_hz(),
                   (sonic10k.first_bin() + sonic10k.num_subcarriers) * sonic10k.subcarrier_spacing_hz()});

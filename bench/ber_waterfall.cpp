@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   for (int snr = 24; snr >= 4; snr -= 2) std::printf(" %5d", snr);
   std::printf("\n");
 
-  for (const auto& profile : modem::all_profiles()) {
+  for (const auto& profile : modem::profiles::all()) {
     modem::OfdmModem modem(profile);
     std::printf("%-12s", profile.name.c_str());
     for (int snr = 24; snr >= 4; snr -= 2) {

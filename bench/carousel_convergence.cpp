@@ -1,0 +1,231 @@
+// Carousel convergence: how a downlink-only receiver (users A/B in Fig. 3)
+// recovers a popular page from the cyclic catalog broadcast, as a function
+// of frame loss rate x fountain repair overhead.
+//
+// Setup: one station with the carousel enabled broadcasts a single popular
+// page repeatedly inside one render epoch; each cycle appends a repair-frame
+// tail that continues the page's rateless stream where the previous cycle
+// stopped. A receiver at loss rate p keeps ~(1-p) of every cycle's frames.
+// The baseline column is the seed-era behavior: one systematic pass, missing
+// rows papered over by column interpolation (coverage < 1). With the
+// carousel, coverage must reach 1.0 (byte-identical reconstruction) at
+// >= 20 % loss with <= 30 % repair overhead.
+//
+// Also times a 400-frame fountain decode (acceptance: < 50 ms in Release).
+//
+//   ./carousel_convergence [--rounds 6] [--round-s 300] [--seed 7]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fec/fountain.hpp"
+#include "sms/sms.hpp"
+#include "sonic/client.hpp"
+#include "sonic/framing.hpp"
+#include "sonic/metrics.hpp"
+#include "sonic/server.hpp"
+#include "util/rng.hpp"
+#include "web/corpus.hpp"
+#include "web/layout.hpp"
+
+using namespace sonic;
+
+namespace {
+
+// One station-side run: everything a station with repair overhead `o` puts
+// on the air over the bench window, in order, tagged by lane.
+struct AirLog {
+  double overhead = 0.0;
+  std::size_t source_frames_per_cycle = 0;  // k of the popular page
+  std::size_t cycles = 0;
+  std::string url;
+  std::vector<std::pair<util::Bytes, bool>> frames;  // (frame, from_carousel)
+};
+
+AirLog record_station(double overhead, int rounds, double round_s) {
+  web::PkCorpus corpus;
+  sms::SmsGateway gateway({2.0, 0.5, 0.0, 99});
+  core::SonicServer::Params sp;
+  sp.layout = web::LayoutParams{240, 2000, 10, 2};  // small, fast renders
+  sp.carousel_enabled = true;
+  sp.carousel.max_pages = 1;
+  sp.carousel.repair_overhead = overhead;
+  core::SonicServer server(&corpus, &gateway, sp);
+
+  // A phone user's request seeds the popularity count; the carousel then
+  // keeps the page cycling for everyone without an uplink.
+  core::SonicClient::Params cp;
+  cp.phone_number = "+923001110000";
+  core::SonicClient requester(&gateway, cp);
+  AirLog log;
+  log.overhead = overhead;
+  log.url = corpus.pages()[3].url;
+  requester.request(log.url, 0.0);
+  server.poll_sms(5.0);
+
+  double now = 10.0;
+  bool first = true;
+  for (int round = 0; round < rounds; ++round) {
+    now += round_s;  // all rounds inside one render epoch (same page_id)
+    for (const auto& done : server.advance(now)) {
+      // The user-requested pass outranks the carousel lane, so it always
+      // completes first; everything after it is a carousel cycle.
+      if (first) log.source_frames_per_cycle = done.bundle.frames.size();
+      for (const auto& frame : done.bundle.frames) log.frames.emplace_back(frame, !first);
+      first = false;
+    }
+  }
+  log.cycles = server.carousel()->cycles_completed();
+  return log;
+}
+
+struct Cell {
+  double coverage = 0.0;
+  bool fountain_decoded = false;
+  std::size_t frames_received = 0;
+  std::size_t repairs_received = 0;
+  double repairs_used = 0.0;  // histogram mean (one page -> the value itself)
+};
+
+// Replays the air log into a fresh downlink-only client at loss rate p.
+// `single_pass` keeps only the user-requested broadcast (the interpolation
+// baseline: what a seed-era station offered a user who missed frames).
+Cell receive(const AirLog& log, double loss, bool single_pass, std::uint64_t seed,
+             core::Metrics& bench_metrics, const std::string& label) {
+  core::SonicClient listener(nullptr, core::SonicClient::Params{});
+  util::Rng rng(seed);
+  for (const auto& [frame, from_carousel] : log.frames) {
+    if (single_pass && from_carousel) continue;
+    if (rng.bernoulli(loss)) continue;  // lost on the air
+    listener.on_frame(frame);
+  }
+  const double now = 1e6;
+  Cell cell;
+  if (listener.flush(now).empty()) return cell;
+  const core::ReceivedPage* page = listener.cache().get(log.url, now);
+  if (page == nullptr) return cell;
+  cell.coverage = page->coverage;
+  cell.fountain_decoded = listener.pages_fountain_decoded() > 0;
+  cell.frames_received = listener.frames_received();
+  cell.repairs_received = listener.repair_frames_received();
+  cell.repairs_used = listener.metrics().histogram("fountain_repairs_used").snapshot().mean();
+  bench_metrics.counter(label + " frames_received").add(cell.frames_received);
+  bench_metrics.counter(label + " repair_frames_received").add(cell.repairs_received);
+  bench_metrics.histogram(label + " coverage").observe(cell.coverage);
+  if (cell.fountain_decoded) bench_metrics.counter(label + " pages_fountain_decoded").add();
+  return cell;
+}
+
+// Acceptance timing: a 400-frame page decoded from a 35 %-loss reception
+// topped up with repair symbols, wall-clocked end to end.
+double time_400_frame_decode_ms(std::uint64_t seed) {
+  const std::size_t k = 400;
+  util::Rng rng(seed);
+  std::vector<util::Bytes> blocks(k);
+  for (auto& b : blocks) {
+    b.resize(core::kFountainBlockSize);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+  }
+  fec::FountainEncoder encoder(31337, blocks);
+  std::vector<std::pair<bool, std::uint32_t>> feed;  // (is_source, index/seq)
+  std::size_t kept = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (rng.bernoulli(0.35)) continue;
+    feed.emplace_back(true, i);
+    ++kept;
+  }
+  const auto target = static_cast<std::size_t>(std::ceil(static_cast<double>(k) * 1.08));
+  std::vector<util::Bytes> repairs;
+  for (std::uint32_t r = 0; kept + repairs.size() < target; ++r) {
+    repairs.push_back(encoder.repair_symbol(r));
+    feed.emplace_back(false, r);
+  }
+
+  fec::FountainDecoder decoder(31337, k, core::kFountainBlockSize);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t next_repair = 0;
+  for (const auto& [is_source, idx] : feed) {
+    if (is_source) {
+      decoder.add_source(idx, blocks[idx]);
+    } else {
+      decoder.add_repair(idx, repairs[next_repair++]);
+    }
+    if (decoder.decoded()) break;
+  }
+  const bool ok = decoder.complete();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (!ok) return -1.0;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = bench::arg_int(argc, argv, "--rounds", 6);
+  const double round_s = bench::arg_double(argc, argv, "--round-s", 300.0);
+  const auto seed = static_cast<std::uint64_t>(bench::arg_int(argc, argv, "--seed", 7));
+
+  const std::vector<double> overheads = {0.1, 0.3, 0.5};
+  const std::vector<double> losses = {0.1, 0.2, 0.35, 0.5};
+
+  std::printf("Carousel convergence: downlink-only receiver, %d rounds x %.0f s\n", rounds,
+              round_s);
+
+  std::vector<AirLog> logs;
+  for (double o : overheads) {
+    logs.push_back(record_station(o, rounds, round_s));
+    std::printf("  station overhead %.1f: k=%zu source frames, %zu carousel cycles aired\n", o,
+                logs.back().source_frames_per_cycle, logs.back().cycles);
+  }
+
+  core::Metrics metrics;
+  std::printf("\n%-8s %28s", "loss", "baseline(1 pass, interp)");
+  for (double o : overheads) std::printf("   carousel oh=%.1f", o);
+  std::printf("\n");
+
+  bool acceptance_ok = true;
+  for (double loss : losses) {
+    // The baseline replays the same single systematic pass regardless of
+    // overhead; use the first station's log for it.
+    const auto base = receive(logs.front(), loss, /*single_pass=*/true, seed ^ 0xb,
+                              metrics, "baseline");
+    const auto k = static_cast<double>(logs.front().source_frames_per_cycle);
+    std::printf("%-8.2f %15.1f%% cov (%3.0f lost)", loss, base.coverage * 100.0,
+                k - static_cast<double>(base.frames_received));
+    for (const auto& log : logs) {
+      const auto label = "carousel oh=" + std::to_string(log.overhead).substr(0, 3);
+      const auto cell = receive(log, loss, /*single_pass=*/false,
+                                seed ^ static_cast<std::uint64_t>(loss * 100), metrics, label);
+      std::printf("  %5.1f%% cov%s", cell.coverage * 100.0, cell.fountain_decoded ? "*" : " ");
+      // Acceptance: 100 % of page bytes at >= 20 % loss with <= 30 % overhead.
+      if (loss >= 0.2 && loss <= 0.35 && log.overhead <= 0.3 && cell.coverage < 1.0) {
+        acceptance_ok = false;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("  (* = lossless fountain reconstruction; baseline rows below 100%% are\n"
+              "   interpolated from neighboring columns — blanked detail, not real bytes)\n");
+
+  std::printf("\n400-frame decode timing (Release target < 50 ms):\n");
+  double worst_ms = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const double ms = time_400_frame_decode_ms(seed + static_cast<std::uint64_t>(trial));
+    if (ms < 0) {
+      std::printf("  trial %d: decode FAILED\n", trial);
+      acceptance_ok = false;
+      continue;
+    }
+    worst_ms = std::max(worst_ms, ms);
+    std::printf("  trial %d: %.2f ms\n", trial, ms);
+  }
+  std::printf("  worst: %.2f ms  [%s]\n", worst_ms, worst_ms < 50.0 ? "ok" : "SLOW (debug build?)");
+
+  std::printf("\nreceiver metrics:\n%s", metrics.report().c_str());
+  std::printf("\nacceptance (100%% recovery at >=20%% loss, <=30%% overhead): %s\n",
+              acceptance_ok ? "ok" : "MISMATCH");
+  return acceptance_ok ? 0 : 1;
+}

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const int frames = bench::arg_int(argc, argv, "--frames", 20);
   const std::uint64_t seed = static_cast<std::uint64_t>(bench::arg_int(argc, argv, "--seed", 1));
 
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   util::Rng rng(seed);
   std::vector<util::Bytes> payload;
   for (int i = 0; i < frames; ++i) {

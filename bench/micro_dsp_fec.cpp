@@ -96,7 +96,7 @@ void BM_ColumnCodecEncode(benchmark::State& state) {
 BENCHMARK(BM_ColumnCodecEncode);
 
 void BM_OfdmModulate16Frames(benchmark::State& state) {
-  modem::OfdmModem modem(modem::profile_sonic10k());
+  modem::OfdmModem modem(*modem::profiles::get("sonic-10k"));
   util::Rng rng(4);
   std::vector<util::Bytes> frames;
   for (int i = 0; i < 16; ++i) frames.push_back(random_bytes(rng, 100));
@@ -109,7 +109,7 @@ void BM_OfdmModulate16Frames(benchmark::State& state) {
 BENCHMARK(BM_OfdmModulate16Frames);
 
 void BM_OfdmReceive16Frames(benchmark::State& state) {
-  modem::OfdmModem modem(modem::profile_sonic10k());
+  modem::OfdmModem modem(*modem::profiles::get("sonic-10k"));
   util::Rng rng(5);
   std::vector<util::Bytes> frames;
   for (int i = 0; i < 16; ++i) frames.push_back(random_bytes(rng, 100));

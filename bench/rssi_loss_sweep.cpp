@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const int frames = bench::arg_int(argc, argv, "--frames", 10);
   const std::uint64_t seed = static_cast<std::uint64_t>(bench::arg_int(argc, argv, "--seed", 3));
 
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   util::Rng rng(seed);
   std::vector<util::Bytes> payload;
   for (int i = 0; i < frames; ++i) {

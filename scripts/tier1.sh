@@ -18,6 +18,6 @@ echo "== tier-1: pipeline tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DSONIC_TSAN=ON
 cmake --build build-tsan -j "$JOBS" --target sonic_tests
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Pipeline|Metrics|ServerShards|Scheduler\.'
+  -R 'Pipeline|Metrics|ServerShards|Scheduler\.|Fountain|Carousel'
 
 echo "tier-1 OK"

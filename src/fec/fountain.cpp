@@ -1,0 +1,423 @@
+#include "fec/fountain.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "fec/reed_solomon.hpp"
+#include "util/rng.hpp"
+
+namespace sonic::fec {
+namespace {
+
+constexpr std::uint64_t kFountainSalt = 0x464f554e5441494eull;  // "FOUNTAIN"
+
+// Sanity bound on repair_seq so a corrupt value cannot make the dedup
+// bitmap allocate unbounded memory. The wire carries a u16 anyway.
+constexpr std::uint32_t kMaxRepairSeq = 1u << 20;
+
+// GF(2^8) has 255 usable evaluation points here (0..254); MDS mode needs
+// at least one of them left over for repair symbols.
+constexpr std::size_t kMdsPointLimit = 254;
+
+void xor_into(util::Bytes& dst, std::span<const std::uint8_t> src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+FountainParams clamp_params(FountainParams p) {
+  p.mds_max_k = std::min(p.mds_max_k, kMdsPointLimit);
+  return p;
+}
+
+std::size_t mds_repair_points(std::size_t k) { return 255 - k; }
+
+// Robust-soliton CDF over degrees 1..k (Luby '02): ideal soliton rho plus
+// the spike/tail tau that keeps the expected ripple above sqrt(k).
+std::vector<double> robust_soliton_cdf(std::size_t k, const FountainParams& p) {
+  const double kd = static_cast<double>(k);
+  const double R = std::max(1.0, p.c * std::log(kd / p.delta) * std::sqrt(kd));
+  const std::size_t spike = std::min<std::size_t>(
+      k, std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(kd / R))));
+  std::vector<double> w(k + 1, 0.0);
+  for (std::size_t d = 1; d <= k; ++d) {
+    const double dd = static_cast<double>(d);
+    double rho = d == 1 ? 1.0 / kd : 1.0 / (dd * (dd - 1.0));
+    double tau = 0.0;
+    if (d < spike) {
+      tau = R / (dd * kd);
+    } else if (d == spike) {
+      tau = R * std::log(R / p.delta) / kd;
+      if (!(tau > 0.0)) tau = 0.0;  // R < delta on tiny k
+    }
+    w[d] = rho + tau;
+  }
+  double total = 0.0;
+  for (std::size_t d = 1; d <= k; ++d) total += w[d];
+  std::vector<double> cdf(k + 1, 0.0);
+  double acc = 0.0;
+  for (std::size_t d = 1; d <= k; ++d) {
+    acc += w[d] / total;
+    cdf[d] = acc;
+  }
+  cdf[k] = 1.0;
+  return cdf;
+}
+
+std::size_t sample_degree(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin() + 1, cdf.end(), u);
+  return static_cast<std::size_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> fountain_neighbors(std::uint32_t page_id, std::uint32_t repair_seq,
+                                              std::size_t k, const FountainParams& params) {
+  if (k == 0) return {};
+  util::Rng rng = util::Rng(kFountainSalt ^ page_id).fork(repair_seq);
+
+  // Most symbols are dense (degree ~ k/2): each dense equation among the
+  // excess symbols halves the residual system's null space, so rank
+  // failures decay geometrically with overhead at any loss rate. Every
+  // soliton_every-th symbol instead draws a robust-soliton degree, keeping
+  // a peelable low-degree ripple in the stream.
+  const bool dense = k > 2 && !(params.soliton_every > 0 &&
+                                repair_seq % params.soliton_every == 0);
+  std::size_t degree;
+  if (dense) {
+    degree = k / 2 + rng.uniform_int(2);
+  } else {
+    degree = sample_degree(robust_soliton_cdf(k, params), rng.uniform());
+  }
+  degree = std::clamp<std::size_t>(degree, 1, k);
+
+  // The forced member repair_seq % k is the cyclic coverage walk: any k
+  // consecutive repair symbols touch every source block, so no loss pattern
+  // can leave a block outside every received equation for long.
+  std::vector<std::uint32_t> picked{static_cast<std::uint32_t>(repair_seq % k)};
+  std::vector<std::uint8_t> used(k, 0);
+  used[picked.front()] = 1;
+  while (picked.size() < degree) {
+    const auto candidate = static_cast<std::uint32_t>(rng.uniform_int(k));
+    if (!used[candidate]) {
+      used[candidate] = 1;
+      picked.push_back(candidate);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+FountainEncoder::FountainEncoder(std::uint32_t page_id, std::vector<util::Bytes> blocks,
+                                 FountainParams params)
+    : page_id_(page_id), blocks_(std::move(blocks)), params_(clamp_params(params)) {
+  if (blocks_.empty()) throw std::invalid_argument("FountainEncoder needs at least one block");
+  block_size_ = blocks_.front().size();
+  for (const util::Bytes& b : blocks_) {
+    if (b.size() != block_size_) {
+      throw std::invalid_argument("FountainEncoder blocks must all be the same size");
+    }
+  }
+  if (mds_mode()) {
+    // Lagrange denominators over the source points 0..k-1:
+    // D_i = prod_{j != i} (i - j), with subtraction = XOR in GF(2^8).
+    const GF256& gf = GF256::instance();
+    const std::size_t k = blocks_.size();
+    lagrange_denom_.resize(k, 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint8_t d = 1;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != i) d = gf.mul(d, static_cast<std::uint8_t>(i ^ j));
+      }
+      lagrange_denom_[i] = d;
+    }
+  }
+}
+
+std::size_t FountainEncoder::distinct_repair_symbols() const {
+  return mds_mode() ? mds_repair_points(blocks_.size()) : kMaxRepairSeq;
+}
+
+util::Bytes FountainEncoder::repair_symbol(std::uint32_t repair_seq) const {
+  const std::size_t k = blocks_.size();
+  util::Bytes out(block_size_, 0);
+  if (mds_mode()) {
+    // Evaluate the interpolating polynomial (degree < k through the source
+    // blocks at points 0..k-1) at repair point p — bytewise, one polynomial
+    // per byte column, but the Lagrange coefficients are shared:
+    //   L_i(p) = N(p) / ((p - i) * D_i),  N(p) = prod_j (p - j).
+    const GF256& gf = GF256::instance();
+    const auto p = static_cast<std::uint8_t>(k + repair_seq % mds_repair_points(k));
+    std::uint8_t numer = 1;
+    for (std::size_t j = 0; j < k; ++j) numer = gf.mul(numer, static_cast<std::uint8_t>(p ^ j));
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint8_t coeff =
+          gf.div(gf.div(numer, static_cast<std::uint8_t>(p ^ i)), lagrange_denom_[i]);
+      const util::Bytes& src = blocks_[i];
+      for (std::size_t b = 0; b < block_size_; ++b) out[b] ^= gf.mul(coeff, src[b]);
+    }
+    return out;
+  }
+  for (std::uint32_t n : fountain_neighbors(page_id_, repair_seq, k, params_)) {
+    xor_into(out, blocks_[n]);
+  }
+  return out;
+}
+
+FountainDecoder::FountainDecoder(std::uint32_t page_id, std::size_t k, std::size_t block_size,
+                                 FountainParams params)
+    : page_id_(page_id),
+      k_(k),
+      block_size_(block_size),
+      params_(clamp_params(params)),
+      blocks_(k),
+      known_(k, 0) {
+  if (mds_mode()) {
+    point_known_.assign(255, 0);
+    point_value_.resize(255);
+  } else {
+    by_unknown_.resize(k);
+  }
+}
+
+bool FountainDecoder::has_block(std::size_t index) const {
+  return index < k_ && known_[index] != 0;
+}
+
+void FountainDecoder::learn(std::size_t index, util::Bytes value, bool via_ge) {
+  // Worklist cascade: committing one block can release degree-1 equations,
+  // whose blocks release more. Kept iterative so a long ripple on a
+  // 400-frame page cannot overflow the stack.
+  std::deque<std::pair<std::size_t, util::Bytes>> pending;
+  pending.emplace_back(index, std::move(value));
+  bool first = true;
+  while (!pending.empty()) {
+    auto [i, v] = std::move(pending.front());
+    pending.pop_front();
+    if (known_[i]) continue;
+    known_[i] = 1;
+    blocks_[i] = std::move(v);
+    ++decoded_count_;
+    if (!first) {
+      ++peeled_;
+    } else if (via_ge) {
+      ++eliminated_;
+    }
+    first = false;
+    for (std::uint32_t id : by_unknown_[i]) {
+      Equation& eq = equations_[id];
+      if (eq.spent) continue;
+      const auto it = std::lower_bound(eq.unknowns.begin(), eq.unknowns.end(),
+                                       static_cast<std::uint32_t>(i));
+      if (it == eq.unknowns.end() || *it != i) continue;
+      eq.unknowns.erase(it);
+      xor_into(eq.value, blocks_[i]);
+      if (eq.unknowns.size() == 1) {
+        eq.spent = true;
+        pending.emplace_back(eq.unknowns.front(), std::move(eq.value));
+      } else if (eq.unknowns.empty()) {
+        eq.spent = true;
+      }
+    }
+    by_unknown_[i].clear();
+  }
+}
+
+bool FountainDecoder::add_source(std::size_t index, std::span<const std::uint8_t> block) {
+  if (index >= k_ || block.size() != block_size_ || known_[index]) return false;
+  ++sources_received_;
+  if (mds_mode()) {
+    point_known_[index] = 1;
+    point_value_[index] = util::Bytes(block.begin(), block.end());
+    point_order_.push_back(static_cast<std::uint8_t>(index));
+    blocks_[index] = point_value_[index];
+    known_[index] = 1;
+    ++decoded_count_;
+    if (!decoded() && point_order_.size() >= k_) mds_interpolate();
+    return true;
+  }
+  learn(index, util::Bytes(block.begin(), block.end()), false);
+  return true;
+}
+
+bool FountainDecoder::add_repair(std::uint32_t repair_seq, std::span<const std::uint8_t> symbol) {
+  if (symbol.size() != block_size_ || repair_seq >= kMaxRepairSeq || k_ == 0) return false;
+  if (mds_mode()) {
+    // Dedup by evaluation point: wrapped repair seqs carry identical bytes.
+    const std::size_t p = k_ + repair_seq % mds_repair_points(k_);
+    if (point_known_[p]) return false;
+    point_known_[p] = 1;
+    point_value_[p] = util::Bytes(symbol.begin(), symbol.end());
+    point_order_.push_back(static_cast<std::uint8_t>(p));
+    ++repairs_received_;
+    if (!decoded() && point_order_.size() >= k_) mds_interpolate();
+    return true;
+  }
+  if (repair_seq < seen_repair_.size() && seen_repair_[repair_seq]) return false;
+  if (repair_seq >= seen_repair_.size()) seen_repair_.resize(repair_seq + 1, 0);
+  seen_repair_[repair_seq] = 1;
+  ++repairs_received_;
+
+  util::Bytes value(symbol.begin(), symbol.end());
+  std::vector<std::uint32_t> unknowns;
+  for (std::uint32_t n : fountain_neighbors(page_id_, repair_seq, k_, params_)) {
+    if (known_[n]) {
+      xor_into(value, blocks_[n]);
+    } else {
+      unknowns.push_back(n);
+    }
+  }
+  if (unknowns.empty()) return true;  // redundant, but a valid new symbol
+  if (unknowns.size() == 1) {
+    // Pretend it peeled: a degree-1 arrival is the ripple in action.
+    const std::size_t before = decoded_count_;
+    learn(unknowns.front(), std::move(value), false);
+    if (decoded_count_ > before) ++peeled_;
+    return true;
+  }
+  const auto id = static_cast<std::uint32_t>(equations_.size());
+  for (std::uint32_t n : unknowns) by_unknown_[n].push_back(id);
+  equations_.push_back(Equation{std::move(unknowns), std::move(value), false});
+  return true;
+}
+
+void FountainDecoder::mds_interpolate() {
+  // Any k distinct points determine the degree-<k polynomial; recover each
+  // missing source point m by Lagrange interpolation over the first k
+  // received points S: block[m] = sum_{j in S} L_j^S(m) * value[j].
+  const GF256& gf = GF256::instance();
+  std::span<const std::uint8_t> s(point_order_.data(), k_);
+
+  // D_j = prod_{s in S, s != j} (j - s), shared across every missing m.
+  std::vector<std::uint8_t> denom(k_, 1);
+  for (std::size_t a = 0; a < k_; ++a) {
+    std::uint8_t d = 1;
+    for (std::size_t b = 0; b < k_; ++b) {
+      if (b != a) d = gf.mul(d, static_cast<std::uint8_t>(s[a] ^ s[b]));
+    }
+    denom[a] = d;
+  }
+
+  for (std::size_t m = 0; m < k_; ++m) {
+    if (known_[m]) continue;
+    // m is not in S (it was never received), so every factor is nonzero.
+    std::uint8_t numer = 1;
+    for (std::size_t a = 0; a < k_; ++a) {
+      numer = gf.mul(numer, static_cast<std::uint8_t>(m ^ s[a]));
+    }
+    util::Bytes out(block_size_, 0);
+    for (std::size_t a = 0; a < k_; ++a) {
+      const std::uint8_t coeff =
+          gf.div(gf.div(numer, static_cast<std::uint8_t>(m ^ s[a])), denom[a]);
+      const util::Bytes& src = point_value_[s[a]];
+      for (std::size_t b = 0; b < block_size_; ++b) out[b] ^= gf.mul(coeff, src[b]);
+    }
+    blocks_[m] = std::move(out);
+    known_[m] = 1;
+    ++decoded_count_;
+    ++interpolated_;
+  }
+}
+
+std::size_t FountainDecoder::frames_needed() const {
+  if (decoded()) return 0;
+  if (mds_mode()) return k_ - point_order_.size();
+  std::vector<std::uint8_t> covered(k_, 0);
+  for (const Equation& eq : equations_) {
+    if (eq.spent) continue;
+    for (std::uint32_t n : eq.unknowns) covered[n] = 1;
+  }
+  std::size_t uncovered = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!known_[i] && !covered[i]) ++uncovered;
+  }
+  return std::max<std::size_t>(1, uncovered);
+}
+
+bool FountainDecoder::complete() {
+  if (decoded()) return true;
+  if (mds_mode()) return false;  // MDS decodes eagerly on the k-th symbol
+  gaussian_fallback();
+  return decoded();
+}
+
+bool FountainDecoder::gaussian_fallback() {
+  const std::size_t u = k_ - decoded_count_;
+  if (u == 0) return true;
+  if (u > params_.max_ge_unknowns) return false;
+
+  // Map unknown source index -> dense column.
+  std::vector<std::uint32_t> unknown_of_col;
+  std::vector<std::int32_t> col_of(k_, -1);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!known_[i]) {
+      col_of[i] = static_cast<std::int32_t>(unknown_of_col.size());
+      unknown_of_col.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  struct Row {
+    std::vector<std::uint64_t> bits;
+    util::Bytes value;
+  };
+  const std::size_t words = (u + 63) / 64;
+  std::vector<Row> rows;
+  for (const Equation& eq : equations_) {
+    if (eq.spent || eq.unknowns.empty()) continue;
+    Row row{std::vector<std::uint64_t>(words, 0), eq.value};
+    for (std::uint32_t n : eq.unknowns) {
+      const auto col = static_cast<std::size_t>(col_of[n]);
+      row.bits[col / 64] |= 1ull << (col % 64);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return false;
+
+  // Gauss-Jordan over GF(2): after full reduction, any row with exactly one
+  // remaining bit pins down one source block.
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < u && pivot_row < rows.size(); ++col) {
+    const std::size_t word = col / 64;
+    const std::uint64_t mask = 1ull << (col % 64);
+    std::size_t found = rows.size();
+    for (std::size_t r = pivot_row; r < rows.size(); ++r) {
+      if (rows[r].bits[word] & mask) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows.size()) continue;
+    std::swap(rows[pivot_row], rows[found]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r == pivot_row || !(rows[r].bits[word] & mask)) continue;
+      for (std::size_t w = 0; w < words; ++w) rows[r].bits[w] ^= rows[pivot_row].bits[w];
+      xor_into(rows[r].value, rows[pivot_row].value);
+    }
+    ++pivot_row;
+  }
+
+  bool progress = false;
+  for (Row& row : rows) {
+    int popcount = 0;
+    std::size_t col = 0;
+    for (std::size_t w = 0; w < words && popcount <= 1; ++w) {
+      std::uint64_t bits = row.bits[w];
+      while (bits) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        col = w * 64 + static_cast<std::size_t>(bit);
+        ++popcount;
+        if (popcount > 1) break;
+      }
+    }
+    if (popcount != 1) continue;
+    const std::uint32_t source = unknown_of_col[col];
+    if (known_[source]) continue;  // solved earlier in this loop via cascade
+    learn(source, std::move(row.value), true);
+    progress = true;
+  }
+  return progress;
+}
+
+}  // namespace sonic::fec

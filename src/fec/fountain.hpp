@@ -1,0 +1,185 @@
+// Rateless repair coding over a page's fixed-size frames — the fountain
+// layer of the broadcast carousel.
+//
+// A page's k source frames are broadcast as-is (the code is systematic);
+// the encoder can then mint an effectively endless stream of *repair
+// symbols*, each derived deterministically from (page_id, repair_seq), so
+// encoder and decoder agree on every symbol's composition with zero
+// signaling — a repair frame only carries its repair_seq. A receiver
+// converges to the full page from ANY mix of source and repair symbols
+// totalling slightly more than k, regardless of which frames it lost or
+// when it tuned in: exactly the property a cyclic catalog broadcast needs,
+// because downlink-only users cannot ask for retransmissions.
+//
+// Two regimes, switched on k (FountainParams::mds_max_k):
+//
+//  * k <= mds_max_k — MDS mode. Repair symbol r is the Reed-Solomon
+//    extension of the page: the unique degree-<k polynomial through the
+//    source blocks (point i holds block i) evaluated at point k + r mod
+//    (255 - k), over the same GF(2^8) as the modem's rs8 outer code. ANY k
+//    distinct symbols reconstruct the page — zero reception overhead, and
+//    the guarantee is deterministic, which matters most on small pages
+//    where "k plus a couple" is all the 8 % overhead budget allows.
+//    Repair seqs wrap modulo the 255 - k available evaluation points;
+//    wrapped duplicates are deduplicated at the receiver.
+//
+//  * k > mds_max_k — LT mode, a systematic Luby-Transform-style code.
+//    Repair symbol r XORs a pseudo-random neighbor set of source blocks
+//    seeded by (page_id, r); symbols are either *soliton* (degree drawn
+//    from the robust-soliton distribution — cheap to decode by peeling) or
+//    *dense* (degree ~ k/2 — each excess dense equation halves the
+//    residual system's null space, so decode failure decays as 2^-excess
+//    for ANY loss pattern), mixed per FountainParams::soliton_every.
+//    Decoding is belief-propagation peeling (release degree-1 equations,
+//    substitute, cascade) with a bounded Gaussian-elimination fallback
+//    over the residual system. Symbol r also force-includes source index
+//    r mod k — a cyclic coverage walk, so any k consecutive repair symbols
+//    touch every source block. The default stream is all dense: measured
+//    failure rates for soliton mixes at the carousel's 8 % overhead target
+//    are tabulated in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sonic::fec {
+
+struct FountainParams {
+  // Robust-soliton knobs (Luby '02): R = c * ln(k/delta) * sqrt(k).
+  double c = 0.1;
+  double delta = 0.5;
+  // Largest k decoded in MDS (Reed-Solomon extension) mode. Must leave
+  // enough GF(2^8) evaluation points for repair: k + repairs <= 255.
+  std::size_t mds_max_k = 170;
+  // In LT mode every soliton_every-th repair symbol draws its degree from
+  // the robust-soliton distribution (cheap to decode by peeling); the rest
+  // are dense (degree ~ k/2), which pins the residual system's rank in the
+  // GE fallback. 0 = all dense, 1 = all soliton (classic LT). The default
+  // is all dense: at the carousel's 8 % reception-overhead target the
+  // excess-symbol budget is too small for soliton equations to close the
+  // residual rank at mid/high loss (measured in DESIGN.md), while dense
+  // symbols fail only with probability ~2^-excess for ANY loss pattern.
+  // Peeling still decodes the cheap systematic regime either way.
+  std::uint32_t soliton_every = 0;
+  // GE fallback refuses residual systems with more unknowns than this
+  // (caps the O(u^3) worst case; peeling still finishes given more input).
+  std::size_t max_ge_unknowns = 2048;
+
+  bool operator==(const FountainParams&) const = default;
+};
+
+// LT-mode neighbor set (sorted, distinct source indices in [0, k)) of
+// repair symbol `repair_seq` for a k-block page. Shared by encoder and
+// decoder; exposed for tests and diagnostics.
+std::vector<std::uint32_t> fountain_neighbors(std::uint32_t page_id, std::uint32_t repair_seq,
+                                              std::size_t k, const FountainParams& params = {});
+
+// Server side: owns a copy of the k source blocks (all the same size) and
+// mints repair symbols on demand. Stateless across calls — symbol r is the
+// same bytes no matter when it is generated, so carousel cycles can resume
+// a page's repair stream where the previous cycle stopped.
+class FountainEncoder {
+ public:
+  FountainEncoder(std::uint32_t page_id, std::vector<util::Bytes> blocks,
+                  FountainParams params = {});
+
+  std::size_t k() const { return blocks_.size(); }
+  std::size_t block_size() const { return block_size_; }
+  std::uint32_t page_id() const { return page_id_; }
+  bool mds_mode() const { return blocks_.size() <= params_.mds_max_k; }
+  // Distinct repair symbols before the stream repeats (unbounded in LT
+  // mode up to the wire's repair_seq range).
+  std::size_t distinct_repair_symbols() const;
+
+  // block_size() bytes of repair symbol `repair_seq`.
+  util::Bytes repair_symbol(std::uint32_t repair_seq) const;
+
+ private:
+  std::uint32_t page_id_;
+  std::vector<util::Bytes> blocks_;
+  std::size_t block_size_ = 0;
+  FountainParams params_;
+  std::vector<std::uint8_t> lagrange_denom_;  // MDS mode: D_i = prod_{j!=i} (i ^ j)
+};
+
+// Receiver side: accepts any mix of source blocks (by source index) and
+// repair symbols (by repair_seq), decodes incrementally, and reports
+// progress. All inputs must be block_size bytes; wrong-sized, out-of-range
+// or duplicate symbols are rejected (return false).
+class FountainDecoder {
+ public:
+  FountainDecoder(std::uint32_t page_id, std::size_t k, std::size_t block_size,
+                  FountainParams params = {});
+
+  // True when the symbol was new, well-formed, and accepted.
+  bool add_source(std::size_t index, std::span<const std::uint8_t> block);
+  bool add_repair(std::uint32_t repair_seq, std::span<const std::uint8_t> symbol);
+
+  // All k source blocks recovered? decoded() is the pure query; complete()
+  // also attempts the GE fallback over pending LT equations first (MDS
+  // mode decodes eagerly and never needs it).
+  bool decoded() const { return decoded_count_ == k_; }
+  bool complete();
+
+  std::size_t k() const { return k_; }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t decoded_count() const { return decoded_count_; }
+  // Lower-bound estimate of additional symbols (any kind) still required:
+  // 0 once decoded; in MDS mode exactly k minus the distinct symbols held.
+  std::size_t frames_needed() const;
+  // Distinct accepted symbols so far (sources + repairs).
+  std::size_t symbols_received() const { return sources_received_ + repairs_received_; }
+  std::size_t sources_received() const { return sources_received_; }
+  std::size_t repairs_received() const { return repairs_received_; }
+  // Blocks recovered by each decoding stage (diagnostics/metrics): peeling
+  // cascade, GE fallback, and MDS interpolation respectively.
+  std::size_t peeled() const { return peeled_; }
+  std::size_t eliminated() const { return eliminated_; }
+  std::size_t interpolated() const { return interpolated_; }
+
+  bool has_block(std::size_t index) const;
+  // Valid once has_block(index); block_size() bytes.
+  const util::Bytes& block(std::size_t index) const { return blocks_[index]; }
+
+ private:
+  struct Equation {
+    std::vector<std::uint32_t> unknowns;  // sorted source indices not yet known
+    util::Bytes value;                    // symbol XOR all known neighbors
+    bool spent = false;
+  };
+
+  bool mds_mode() const { return k_ <= params_.mds_max_k; }
+  void learn(std::size_t index, util::Bytes value, bool via_ge);
+  bool gaussian_fallback();
+  void mds_interpolate();
+
+  std::uint32_t page_id_;
+  std::size_t k_;
+  std::size_t block_size_;
+  FountainParams params_;
+
+  std::vector<util::Bytes> blocks_;  // decoded source blocks; empty = unknown
+  std::vector<std::uint8_t> known_;
+  std::size_t decoded_count_ = 0;
+  std::size_t sources_received_ = 0;
+  std::size_t repairs_received_ = 0;
+  std::size_t peeled_ = 0;
+  std::size_t eliminated_ = 0;
+  std::size_t interpolated_ = 0;
+
+  // LT mode state.
+  std::vector<Equation> equations_;
+  std::vector<std::vector<std::uint32_t>> by_unknown_;  // source -> equation ids
+  std::vector<std::uint8_t> seen_repair_;               // dedup by repair_seq
+
+  // MDS mode state: received values by evaluation point (0..k-1 sources,
+  // k..254 repair), in arrival order.
+  std::vector<std::uint8_t> point_known_;
+  std::vector<util::Bytes> point_value_;
+  std::vector<std::uint8_t> point_order_;
+};
+
+}  // namespace sonic::fec

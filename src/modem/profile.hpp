@@ -1,8 +1,8 @@
 // Transmission profiles — the counterpart of Quiet's JSON profile files.
 // The paper builds a new profile "inspired by audible-7k-channel" using OFDM
 // with 92 subcarriers, CRC32, inner conv v29 and outer RS, reaching 10 kbps
-// (§3.3). profile_sonic10k() reproduces that operating point; the others
-// provide the comparison rungs used by the benchmarks.
+// (§3.3). profiles::get("sonic-10k") reproduces that operating point; the
+// others provide the comparison rungs used by the benchmarks.
 #pragma once
 
 #include <optional>
@@ -74,20 +74,15 @@ std::vector<OfdmProfile> all();
 // new code should use modem::profiles::get("<name>").
 
 // The paper's profile: ≈10 kbps net over the FM mono channel.
-// Deprecated: use profiles::get("sonic-10k").
-OfdmProfile profile_sonic10k();
+[[deprecated("use modem::profiles::get(\"sonic-10k\")")]] OfdmProfile profile_sonic10k();
 // A Quiet "audible-7k-channel"-like rung: 16-QAM, rate-1/2.
-// Deprecated: use profiles::get("audible-7k").
-OfdmProfile profile_audible7k();
+[[deprecated("use modem::profiles::get(\"audible-7k\")")]] OfdmProfile profile_audible7k();
 // Very robust low-rate rung for weak receivers: QPSK, rate-1/2, RS-heavy.
-// Deprecated: use profiles::get("robust-2k").
-OfdmProfile profile_robust2k();
+[[deprecated("use modem::profiles::get(\"robust-2k\")")]] OfdmProfile profile_robust2k();
 // Audio-jack profile mirroring Quiet's 64 kbps cable claim: wideband,
 // dense constellation (cable has no acoustic distortion).
-// Deprecated: use profiles::get("cable-64k").
-OfdmProfile profile_cable64k();
+[[deprecated("use modem::profiles::get(\"cable-64k\")")]] OfdmProfile profile_cable64k();
 
-// Deprecated: use profiles::all().
-std::vector<OfdmProfile> all_profiles();
+[[deprecated("use modem::profiles::all()")]] std::vector<OfdmProfile> all_profiles();
 
 }  // namespace sonic::modem

@@ -1,0 +1,120 @@
+#include "sonic/carousel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sonic::core {
+namespace {
+
+Carousel::Params validated(Carousel::Params params) {
+  const auto errors = params.validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid Carousel::Params:";
+    for (const auto& e : errors) msg += "\n  - " + e;
+    throw std::invalid_argument(msg);
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::string> Carousel::Params::validate() const {
+  std::vector<std::string> errors;
+  if (max_pages == 0) errors.push_back("max_pages must be nonzero (an empty carousel broadcasts nothing)");
+  if (!(repair_overhead >= 0.0 && repair_overhead <= 4.0)) {
+    errors.push_back("repair_overhead must be in [0, 4] (got " + std::to_string(repair_overhead) + ")");
+  }
+  if (!(refresh_interval_s > 0.0)) {
+    errors.push_back("refresh_interval_s must be positive (got " + std::to_string(refresh_interval_s) + ")");
+  }
+  return errors;
+}
+
+Carousel::Carousel(BroadcastPipeline* pipeline, Metrics* metrics, Params params)
+    : pipeline_(pipeline), metrics_(metrics), params_(validated(std::move(params))) {
+  if (pipeline_ == nullptr) throw std::invalid_argument("Carousel needs a pipeline");
+}
+
+void Carousel::record_hit(const std::string& url) { ++hits_[url]; }
+
+std::uint32_t Carousel::next_repair_seq(const std::string& url) const {
+  const auto it = repair_seq_.find(url);
+  return it == repair_seq_.end() ? 0 : it->second;
+}
+
+void Carousel::refresh_catalog(double now_s) {
+  catalog_.clear();
+  for (const auto& [url, hits] : hits_) {
+    if (hits >= params_.min_hits) catalog_.emplace_back(url, hits);
+  }
+  std::sort(catalog_.begin(), catalog_.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (catalog_.size() > params_.max_pages) catalog_.resize(params_.max_pages);
+  refreshed_once_ = true;
+  next_refresh_s_ = now_s + params_.refresh_interval_s;
+  if (metrics_ != nullptr) {
+    metrics_->counter("carousel_refreshes").add(1);
+    metrics_->histogram("carousel_catalog_pages").observe(static_cast<double>(catalog_.size()));
+  }
+}
+
+std::vector<Carousel::AirPage> Carousel::drive(double now_s) {
+  if (!refreshed_once_ || now_s >= next_refresh_s_) refresh_catalog(now_s);
+  if (in_flight_ > 0 || catalog_.empty()) return {};
+
+  // Next cycle: render/encode the whole catalog as one pipeline batch
+  // (cache hits within the render epoch make steady-state cycles cheap),
+  // then extend each page with this cycle's slice of its repair stream.
+  std::vector<std::string> urls;
+  urls.reserve(catalog_.size());
+  for (const auto& [url, hits] : catalog_) urls.push_back(url);
+
+  std::vector<AirPage> out;
+  for (auto& prepared : pipeline_->prepare(urls, now_s)) {
+    if (!prepared.bundle) continue;  // url fell out of the corpus
+    const PageBundle& src = *prepared.bundle;
+    const auto k = static_cast<std::uint16_t>(src.frames.size());
+    const auto repair_frames =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(k) * params_.repair_overhead));
+
+    auto air = std::make_shared<PageBundle>(src);
+    if (repair_frames > 0) {
+      fec::FountainEncoder encoder(src.page_id, bundle_fountain_blocks(src), params_.fountain);
+      std::uint32_t& seq = repair_seq_[prepared.url];
+      for (std::size_t i = 0; i < repair_frames; ++i) {
+        const auto wire_seq = static_cast<std::uint16_t>(seq % kRepairSeqSpace);
+        air->frames.push_back(
+            serialize_repair_frame(src.page_id, wire_seq, k, encoder.repair_symbol(wire_seq)));
+        seq = (seq + 1) % kRepairSeqSpace;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("carousel_repair_frames").add(repair_frames);
+    }
+    out.push_back(AirPage{kCarouselKeyPrefix + prepared.url, std::move(air), params_.priority,
+                          /*preemptible=*/true});
+  }
+  if (out.empty()) return out;
+
+  in_flight_ = out.size();
+  cycle_started_s_ = now_s;
+  if (metrics_ != nullptr) metrics_->counter("carousel_cycles_started").add(1);
+  return out;
+}
+
+void Carousel::on_broadcast_complete(const std::string& key, double completed_at_s) {
+  (void)key;
+  if (in_flight_ == 0) return;
+  if (--in_flight_ == 0) {
+    ++cycles_completed_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("carousel_cycles").add(1);
+      metrics_->histogram("carousel_cycle_s").observe(completed_at_s - cycle_started_s_);
+    }
+  }
+}
+
+}  // namespace sonic::core

@@ -3,17 +3,29 @@
 // server-set expiry, exposes the catalog, renders pages scaled to the
 // device, and navigates hyperlinks through the click map — instantly when
 // the target is cached, via an SMS request when an uplink is available.
+//
+// The downlink path understands wire format v2: type 2 repair frames are
+// routed into a per-page FountainDecoder which, fed by both source and
+// repair symbols, reconstructs lost source frames byte for byte once it
+// converges (flush() prefers that over interpolation). Malformed frames —
+// wrong size, unknown type, seq past total, payload length past the frame
+// end — are dropped and counted, never interpreted.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fec/fountain.hpp"
 #include "image/interpolate.hpp"
 #include "modem/ofdm.hpp"
 #include "sms/sms.hpp"
 #include "sonic/cache.hpp"
 #include "sonic/framing.hpp"
+#include "sonic/metrics.hpp"
 
 namespace sonic::core {
 
@@ -27,6 +39,9 @@ class SonicClient {
     int device_width = 360;            // Xiaomi Redmi Go class screen
     image::InterpolationMode interpolation = image::InterpolationMode::kLeft;
     std::size_t cache_pages = 64;
+    // Fountain decoder knobs; must match the station's encoder (both sides
+    // ship the same defaults).
+    fec::FountainParams fountain;
 
     // Descriptive configuration errors; empty when sane. The constructor
     // calls this and throws std::invalid_argument on nonsense (zero-width
@@ -41,8 +56,10 @@ class SonicClient {
 
   // ---- downlink -----------------------------------------------------------
 
-  // Feed raw 100-byte frames (already FEC-validated); lost frames simply
-  // never arrive.
+  // Feed one received frame; lost frames simply never arrive. The modem's
+  // per-frame FEC/CRC catches channel corruption, but a hostile or buggy
+  // station can still emit well-CRC'd garbage — anything that fails frame
+  // validation is dropped (and counted), never interpreted.
   void on_frame(std::span<const std::uint8_t> frame);
 
   // Feed a whole modem burst (nullopt slots = frames lost to FEC/CRC).
@@ -82,13 +99,37 @@ class SonicClient {
 
   const PageCache& cache() const { return cache_; }
   std::size_t frames_received() const { return frames_received_; }
+  // Frames rejected by validation (short/oversized frames, unknown types,
+  // seq >= total, payload length past the frame end, repair frames whose
+  // claimed k conflicts with an existing decoder).
+  std::size_t frames_dropped_malformed() const { return frames_dropped_malformed_; }
+  std::size_t repair_frames_received() const { return repair_frames_received_; }
+  // Pages flush() reconstructed losslessly via fountain convergence.
+  std::size_t pages_fountain_decoded() const {
+    return metrics_->counter_value("pages_fountain_decoded");
+  }
+
+  // Client-side registry: frames_dropped_malformed / repair_frames_received
+  // counters, fountain convergence histograms (fountain_repairs_used,
+  // fountain_reception_overhead), pages_fountain_decoded.
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
 
  private:
+  // The decoder for page_id (k source frames), created on the first repair
+  // frame and backfilled with already-received source frames; null if a
+  // conflicting k was already established.
+  fec::FountainDecoder* decoder_for(std::uint32_t page_id, std::uint16_t k);
+
   sms::SmsGateway* gateway_;
   Params params_;
+  std::unique_ptr<Metrics> metrics_;  // stable address; makes the client move-only
   PageAssembler assembler_;
   PageCache cache_;
+  std::map<std::uint32_t, fec::FountainDecoder> decoders_;
   std::size_t frames_received_ = 0;
+  std::size_t frames_dropped_malformed_ = 0;
+  std::size_t repair_frames_received_ = 0;
 };
 
 }  // namespace sonic::core

@@ -33,9 +33,68 @@ std::optional<std::pair<FrameHeader, util::Bytes>> parse_frame(std::span<const s
   h.seq = r.u16();
   h.total = r.u16();
   h.type = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (h.type == kFrameTypeRepair) {
+    // v2: seq is the repair_seq (unbounded by total), total is the page's
+    // source-frame count, and the rest of the frame is the symbol.
+    if (h.total == 0) return std::nullopt;
+    return std::make_pair(h, r.raw(kFountainBlockSize));
+  }
   const std::uint8_t len = r.u8();
-  if (!r.ok() || len > kFramePayloadSize || h.seq >= h.total || h.type > 1) return std::nullopt;
+  if (!r.ok() || len > kFramePayloadSize || h.seq >= h.total || h.type > kFrameTypeSegment) {
+    return std::nullopt;
+  }
   return std::make_pair(h, r.raw(len));
+}
+
+util::Bytes fountain_block(std::span<const std::uint8_t> frame) {
+  if (frame.size() != kFrameSize) throw std::invalid_argument("fountain_block: bad frame size");
+  const std::uint8_t type = frame[8];
+  const std::uint8_t len = frame[9];
+  if (type > kFrameTypeSegment || len > kFramePayloadSize) {
+    throw std::invalid_argument("fountain_block: not a source frame");
+  }
+  util::Bytes block(kFountainBlockSize);
+  block[0] = static_cast<std::uint8_t>((type << 7) | len);
+  std::copy(frame.begin() + kFrameHeaderSize, frame.end(), block.begin() + 1);
+  return block;
+}
+
+std::vector<util::Bytes> bundle_fountain_blocks(const PageBundle& bundle) {
+  std::vector<util::Bytes> blocks;
+  blocks.reserve(bundle.frames.size());
+  for (const util::Bytes& frame : bundle.frames) blocks.push_back(fountain_block(frame));
+  return blocks;
+}
+
+std::optional<util::Bytes> frame_from_fountain_block(std::uint32_t page_id, std::uint16_t seq,
+                                                     std::uint16_t total,
+                                                     std::span<const std::uint8_t> block) {
+  if (block.size() != kFountainBlockSize) return std::nullopt;
+  const std::uint8_t type = block[0] >> 7;
+  const std::uint8_t len = block[0] & 0x7f;
+  if (len > kFramePayloadSize) return std::nullopt;
+  util::Bytes frame = serialize_frame({page_id, seq, total, type}, block.subspan(1, len));
+  // The padding region beyond payload_len must be zero in a well-formed
+  // block; a decoded block that disagrees was corrupted upstream.
+  for (std::size_t i = 1 + len; i < block.size(); ++i) {
+    if (block[i] != 0) return std::nullopt;
+  }
+  return frame;
+}
+
+util::Bytes serialize_repair_frame(std::uint32_t page_id, std::uint16_t repair_seq,
+                                   std::uint16_t k, std::span<const std::uint8_t> symbol) {
+  if (symbol.size() != kFountainBlockSize) {
+    throw std::invalid_argument("serialize_repair_frame: bad symbol size");
+  }
+  util::ByteWriter w;
+  w.u32(page_id);
+  w.u16(repair_seq);
+  w.u16(k);
+  w.u8(kFrameTypeRepair);
+  w.raw(symbol);
+  return w.take();
 }
 
 util::Bytes serialize_metadata(const PageMetadata& m) {
@@ -166,6 +225,9 @@ void PageAssembler::push(std::span<const std::uint8_t> frame) {
   const auto parsed = parse_frame(frame);
   if (!parsed) return;
   const auto& [header, payload] = *parsed;
+  // Repair frames live at the fountain layer (SonicClient routes them to a
+  // FountainDecoder); the assembler only tracks source frames.
+  if (header.type == kFrameTypeRepair) return;
   Partial& partial = pages_[header.page_id];
   if (partial.payloads.empty()) {
     partial.total = header.total;
@@ -198,6 +260,20 @@ std::vector<std::uint32_t> PageAssembler::known_pages() const {
 }
 
 void PageAssembler::drop(std::uint32_t page_id) { pages_.erase(page_id); }
+
+std::vector<std::pair<std::uint16_t, util::Bytes>> PageAssembler::received_slots(
+    std::uint32_t page_id) const {
+  std::vector<std::pair<std::uint16_t, util::Bytes>> out;
+  const auto it = pages_.find(page_id);
+  if (it == pages_.end()) return out;
+  const Partial& partial = it->second;
+  for (std::size_t seq = 0; seq < partial.payloads.size(); ++seq) {
+    if (partial.payloads[seq].has_value()) {
+      out.emplace_back(static_cast<std::uint16_t>(seq), *partial.payloads[seq]);
+    }
+  }
+  return out;
+}
 
 std::optional<ReceivedPage> PageAssembler::assemble(std::uint32_t page_id,
                                                     image::InterpolationMode mode) const {

@@ -10,6 +10,17 @@
 //   segment frame useless, so they get cheap repetition redundancy.
 // * type 1 (segment): one per-column segment from the resilient column
 //   codec. Losing one blanks a bounded run of rows in one column.
+// * type 2 (repair, wire format v2 — the broadcast carousel): a fountain
+//   repair symbol over the page's source frames. The seq field carries the
+//   repair_seq, total carries the page's source-frame count k, and bytes
+//   9..99 hold the kFountainBlockSize-byte symbol (repair frames have no
+//   payload_len byte — the length is implied by the frame size). A source
+//   frame's fountain block packs its type bit and payload length into one
+//   byte, [(type << 7) | payload_len], followed by the 90-byte payload
+//   region, so a converged decoder reproduces source frames byte for byte.
+//   v1 receivers reject type 2 in parse_frame and lose nothing but the
+//   repair capability; v2 receivers decode pure-source broadcasts as
+//   before.
 //
 // Integrity per frame is provided by the modem's PacketCodec
 // (crc32 + v29 + rs8); a frame either arrives intact or not at all.
@@ -33,11 +44,22 @@ constexpr std::size_t kFrameSize = 100;  // §3.3: "fixed-sized frames of 100 by
 constexpr std::size_t kFrameHeaderSize = 10;  // page_id + seq + total + type + payload_len
 constexpr std::size_t kFramePayloadSize = kFrameSize - kFrameHeaderSize;
 
+constexpr std::uint8_t kFrameTypeMetadata = 0;
+constexpr std::uint8_t kFrameTypeSegment = 1;
+constexpr std::uint8_t kFrameTypeRepair = 2;  // wire format v2
+
+// One fountain symbol spans a source frame's [(type << 7) | payload_len]
+// byte plus its payload region: everything after the fields a repair frame
+// already carries (page_id, seq, total).
+constexpr std::size_t kFountainBlockSize = kFramePayloadSize + 1;
+// The repair_seq lives in the u16 seq field; carousel repair streams wrap.
+constexpr std::uint32_t kRepairSeqSpace = 1u << 16;
+
 struct FrameHeader {
   std::uint32_t page_id = 0;
-  std::uint16_t seq = 0;
-  std::uint16_t total = 0;
-  std::uint8_t type = 0;  // 0 = metadata, 1 = segment
+  std::uint16_t seq = 0;    // type 2: repair_seq
+  std::uint16_t total = 0;  // type 2: the page's source-frame count k
+  std::uint8_t type = 0;    // 0 = metadata, 1 = segment, 2 = repair
 };
 
 struct PageMetadata {
@@ -110,6 +132,11 @@ class PageAssembler {
   std::vector<std::uint32_t> known_pages() const;
   void drop(std::uint32_t page_id);
 
+  // The (seq, [type u8][payload]) slots received so far for `page_id` —
+  // the fountain layer backfills a decoder created by a late-arriving
+  // repair frame from these.
+  std::vector<std::pair<std::uint16_t, util::Bytes>> received_slots(std::uint32_t page_id) const;
+
  private:
   struct Partial {
     std::uint16_t total = 0;
@@ -119,9 +146,28 @@ class PageAssembler {
   std::map<std::uint32_t, Partial> pages_;
 };
 
-// Frame header (de)serialization; payload is padded to kFrameSize.
+// Frame header (de)serialization; payload is padded to kFrameSize. For
+// type 2 frames parse_frame returns the kFountainBlockSize-byte symbol as
+// the payload.
 util::Bytes serialize_frame(const FrameHeader& header, std::span<const std::uint8_t> payload);
 std::optional<std::pair<FrameHeader, util::Bytes>> parse_frame(std::span<const std::uint8_t> frame);
+
+// Fountain wire helpers (v2).
+//
+// The kFountainBlockSize-byte fountain block of one serialized source
+// frame (type 0/1, exactly kFrameSize bytes).
+util::Bytes fountain_block(std::span<const std::uint8_t> frame);
+// All of a bundle's fountain blocks, in seq order — the encoder's input.
+std::vector<util::Bytes> bundle_fountain_blocks(const PageBundle& bundle);
+// Rebuilds the full kFrameSize source frame `seq` of a k-frame page from
+// its (decoded) fountain block; nullopt if the block is malformed.
+std::optional<util::Bytes> frame_from_fountain_block(std::uint32_t page_id, std::uint16_t seq,
+                                                     std::uint16_t total,
+                                                     std::span<const std::uint8_t> block);
+// A type 2 repair frame carrying `symbol` (kFountainBlockSize bytes) for a
+// k-source-frame page.
+util::Bytes serialize_repair_frame(std::uint32_t page_id, std::uint16_t repair_seq,
+                                   std::uint16_t k, std::span<const std::uint8_t> symbol);
 
 // Metadata blob (de)serialization.
 util::Bytes serialize_metadata(const PageMetadata& metadata);

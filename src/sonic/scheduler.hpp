@@ -14,9 +14,13 @@ namespace sonic::core {
 
 struct ScheduledItem {
   std::string url;
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;  // bytes still to send (reduced when a preempted item resumes)
   double enqueued_at_s = 0.0;
   int priority = 0;  // higher first; user requests outrank refreshes
+  // Carousel lane: a preemptible in-flight item yields to a newly enqueued
+  // higher-priority item at the next frame boundary and later resumes
+  // without re-sending the frames already transmitted.
+  bool preemptible = false;
   double completed_at_s = 0.0;
 };
 
@@ -29,7 +33,8 @@ class BroadcastScheduler {
 
   explicit BroadcastScheduler(Params params);
 
-  void enqueue(std::string url, std::size_t bytes, double now_s, int priority = 0);
+  void enqueue(std::string url, std::size_t bytes, double now_s, int priority = 0,
+               bool preemptible = false);
 
   // Advances the wall clock, draining the queue at the aggregate rate.
   // Returns items whose transmission completed in (previous now, until_s].
@@ -55,12 +60,19 @@ class BroadcastScheduler {
   double aggregate_rate_bps() const { return params_.rate_bps * params_.num_frequencies; }
   double now() const { return now_s_; }
   std::size_t queue_length() const { return queue_.size(); }
+  // Times an in-flight preemptible item was displaced by a higher-priority
+  // enqueue (each resumes later from its frame boundary).
+  std::size_t preemptions() const { return preemptions_; }
 
  private:
   Params params_;
   double now_s_ = 0.0;
   std::deque<ScheduledItem> queue_;  // kept sorted: priority desc, then FIFO
   double head_remaining_bytes_ = 0.0;
+  std::size_t preemptions_ = 0;
+  // Items whose transmission completed during an enqueue's internal drain;
+  // handed out by the next advance() so no completion is ever swallowed.
+  std::vector<ScheduledItem> pending_done_;
 };
 
 }  // namespace sonic::core

@@ -54,6 +54,9 @@ std::vector<std::string> SonicServer::Params::validate() const {
   }
   if (page_expiry_s == 0) errors.push_back("page_expiry_s must be nonzero");
   for (const auto& e : pipeline_params(*this).validate()) errors.push_back(e);
+  if (carousel_enabled) {
+    for (const auto& e : carousel.validate()) errors.push_back(e);
+  }
   return errors;
 }
 
@@ -63,6 +66,9 @@ SonicServer::SonicServer(const web::PkCorpus* corpus, sms::SmsGateway* gateway, 
       params_(validated(std::move(params))),
       metrics_(std::make_unique<Metrics>()),
       pipeline_(corpus_, pipeline_params(params_), metrics_.get()) {
+  if (params_.carousel_enabled) {
+    carousel_ = std::make_unique<Carousel>(&pipeline_, metrics_.get(), params_.carousel);
+  }
   shards_.reserve(params_.transmitters.size());
   for (std::size_t i = 0; i < params_.transmitters.size(); ++i) {
     shards_.emplace_back(BroadcastScheduler::Params{params_.rate_bps, params_.num_frequencies});
@@ -136,6 +142,7 @@ void SonicServer::poll_sms(double now_s) {
       ack.eta_s = shard.eta_s(bundle->total_bytes(), now_s);
       shard.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
       pending_route_[bundle->metadata.url] = *tx;
+      if (carousel_) carousel_->record_hit(bundle->metadata.url);
       queued_bundles_[bundle->metadata.url] = std::move(bundle);
     } else {
       ack.accepted = false;
@@ -175,6 +182,18 @@ int SonicServer::push_pages_to(const std::string& transmitter,
 }
 
 std::vector<CompletedBroadcast> SonicServer::advance(double now_s) {
+  // Refill the carousel lane first so the next cycle competes for the
+  // airtime this advance is about to drain. Carousel pages ride shard 0
+  // (the first transmitter) at low priority, preemptible at frame
+  // boundaries by user requests.
+  if (carousel_) {
+    for (Carousel::AirPage& page : carousel_->drive(now_s)) {
+      shards_[0].enqueue(page.key, page.bundle->total_bytes(), now_s, page.priority,
+                         page.preemptible);
+      pending_route_[page.key] = params_.transmitters[0];
+      queued_bundles_[page.key] = std::move(page.bundle);
+    }
+  }
   std::vector<CompletedBroadcast> out;
   Histogram& queue_wait = metrics_->histogram("queue_wait_s");
   Counter& pages_broadcast = metrics_->counter("pages_broadcast");
@@ -182,6 +201,9 @@ std::vector<CompletedBroadcast> SonicServer::advance(double now_s) {
     for (ScheduledItem& item : shards_[i].advance(now_s)) {
       const auto queued = queued_bundles_.find(item.url);
       if (queued == queued_bundles_.end()) continue;
+      if (carousel_ && item.url.starts_with(kCarouselKeyPrefix)) {
+        carousel_->on_broadcast_complete(item.url, item.completed_at_s);
+      }
       CompletedBroadcast done;
       const auto routed = pending_route_.find(item.url);
       done.transmitter = routed != pending_route_.end() ? routed->second : params_.transmitters[i];

@@ -17,6 +17,7 @@
 
 #include "image/column_codec.hpp"
 #include "sms/sms.hpp"
+#include "sonic/carousel.hpp"
 #include "sonic/framing.hpp"
 #include "sonic/metrics.hpp"
 #include "sonic/pipeline.hpp"
@@ -55,6 +56,13 @@ class SonicServer {
     std::vector<Transmitter> transmitters{Transmitter{}};
     std::size_t render_cache_pages = 256;  // LRU capacity of the pipeline cache
     int render_threads = 0;                // pipeline workers; 0 = serial
+
+    // Cyclic popular-catalog broadcast with fountain repair frames, on the
+    // preemptible low-priority lane of the first transmitter's shard.
+    // Off by default: a station that only answers requests behaves exactly
+    // like the seed-era server.
+    bool carousel_enabled = false;
+    Carousel::Params carousel;
 
     // Descriptive configuration errors (negative rate, zero frequencies,
     // empty transmitter list, zero cache, ...); empty when sane. The
@@ -104,6 +112,8 @@ class SonicServer {
   Metrics& metrics() { return *metrics_; }
   const Metrics& metrics() const { return *metrics_; }
   const BroadcastPipeline& pipeline() const { return pipeline_; }
+  // Null when Params::carousel_enabled is false.
+  const Carousel* carousel() const { return carousel_.get(); }
 
   // Finds the transmitter covering a location (§3.1: the request carries
   // the user's location so the proper transmitter can be informed).
@@ -119,6 +129,7 @@ class SonicServer {
   Params params_;
   std::unique_ptr<Metrics> metrics_;  // stable address for the pipeline
   BroadcastPipeline pipeline_;
+  std::unique_ptr<Carousel> carousel_;      // null unless carousel_enabled
   std::vector<BroadcastScheduler> shards_;  // parallel to params_.transmitters
   std::map<std::string, Transmitter> pending_route_;  // url -> transmitter
   // Strong refs for everything enqueued, so an LRU eviction in the pipeline

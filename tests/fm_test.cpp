@@ -172,7 +172,7 @@ TEST(Acoustic, OutputLengthReflectsClockSkew) {
 // -------------------------------------------------- End-to-end FM + OFDM ---
 
 TEST(FmLink, OfdmOverCableDecodesAllFrames) {
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   Rng rng(11);
   std::vector<util::Bytes> frames;
   for (int i = 0; i < 5; ++i) {
@@ -194,7 +194,7 @@ TEST(FmLink, OfdmOverCableDecodesAllFrames) {
 }
 
 TEST(FmLink, OfdmFailsBelowFmThreshold) {
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   Rng rng(12);
   std::vector<util::Bytes> frames;
   for (int i = 0; i < 3; ++i) {
@@ -216,7 +216,7 @@ TEST(FmLink, OfdmFailsBelowFmThreshold) {
 }
 
 TEST(FmLink, RfBypassMatchesHighRssiBehaviour) {
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   Rng rng(13);
   std::vector<util::Bytes> frames;
   for (int i = 0; i < 3; ++i) {

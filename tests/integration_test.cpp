@@ -20,7 +20,7 @@ namespace {
 // Returns the client-observed frame loss rate.
 double transmit_over_phy(const core::PageBundle& bundle, core::SonicClient& client,
                          fm::FmLinkConfig link_cfg, int frames_per_burst = 16) {
-  modem::OfdmModem ofdm(modem::profile_sonic10k());
+  modem::OfdmModem ofdm(*modem::profiles::get("sonic-10k"));
   std::size_t sent = 0, received = 0;
   for (std::size_t off = 0; off < bundle.frames.size(); off += static_cast<std::size_t>(frames_per_burst)) {
     std::vector<util::Bytes> burst_frames(

@@ -197,7 +197,7 @@ TEST(Crc16, KnownVector) {
 // -------------------------------------------------------------- Profiles ---
 
 TEST(Profiles, Sonic10kMatchesPaperParameters) {
-  const auto p = profile_sonic10k();
+  const auto p = *profiles::get("sonic-10k");
   EXPECT_EQ(p.num_subcarriers, 92);         // §3.3: 92 subcarriers
   EXPECT_NEAR(p.carrier_hz, 9200.0, 1.0);   // §4: 9.2 kHz carrier
   EXPECT_EQ(p.conv.code, fec::ConvCode::kV29);
@@ -209,7 +209,7 @@ TEST(Profiles, Sonic10kMatchesPaperParameters) {
 
 TEST(Profiles, BandFitsFmMonoChannel) {
   // §4: mono channel spans 30 Hz - 15 kHz.
-  for (const auto& p : all_profiles()) {
+  for (const auto& p : profiles::all()) {
     const double lo = p.first_bin() * p.subcarrier_spacing_hz();
     const double hi = (p.first_bin() + p.num_subcarriers) * p.subcarrier_spacing_hz();
     EXPECT_GT(lo, 30.0) << p.name;
@@ -218,11 +218,11 @@ TEST(Profiles, BandFitsFmMonoChannel) {
 }
 
 TEST(Profiles, RateLadderIsOrdered) {
-  EXPECT_LT(profile_robust2k().net_bit_rate(), profile_audible7k().net_bit_rate());
-  EXPECT_LT(profile_audible7k().net_bit_rate(), profile_sonic10k().net_bit_rate());
-  EXPECT_LT(profile_sonic10k().net_bit_rate(), profile_cable64k().net_bit_rate(1000, 8));
+  EXPECT_LT(profiles::get("robust-2k")->net_bit_rate(), profiles::get("audible-7k")->net_bit_rate());
+  EXPECT_LT(profiles::get("audible-7k")->net_bit_rate(), profiles::get("sonic-10k")->net_bit_rate());
+  EXPECT_LT(profiles::get("sonic-10k")->net_bit_rate(), profiles::get("cable-64k")->net_bit_rate(1000, 8));
   // Quiet's cable claim: tens of kbps over the audio jack.
-  EXPECT_GT(profile_cable64k().net_bit_rate(1000, 8), 40000.0);
+  EXPECT_GT(profiles::get("cable-64k")->net_bit_rate(1000, 8), 40000.0);
 }
 
 TEST(ProfileRegistry, BuiltinsRegisteredSlowestFirst) {
@@ -232,11 +232,24 @@ TEST(ProfileRegistry, BuiltinsRegisteredSlowestFirst) {
   EXPECT_EQ(names[1], "audible-7k");
   EXPECT_EQ(names[2], "sonic-10k");
   EXPECT_EQ(names[3], "cable-64k");
-  // all_profiles() (the deprecated wrapper) reports the registry's ladder.
-  const auto all = all_profiles();
+  const auto all = profiles::all();
   ASSERT_EQ(all.size(), names.size());
   for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].name, names[i]);
 }
+
+// The deprecated free-function wrappers must keep returning the registry's
+// rungs until they are removed. This is the one deliberate call site; every
+// other caller has migrated to profiles::get()/profiles::all().
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ProfileRegistry, DeprecatedWrappersStillMatchRegistry) {
+  EXPECT_EQ(profile_sonic10k().name, profiles::get("sonic-10k")->name);
+  EXPECT_EQ(profile_audible7k().name, profiles::get("audible-7k")->name);
+  EXPECT_EQ(profile_robust2k().name, profiles::get("robust-2k")->name);
+  EXPECT_EQ(profile_cable64k().name, profiles::get("cable-64k")->name);
+  EXPECT_EQ(all_profiles().size(), profiles::all().size());
+}
+#pragma GCC diagnostic pop
 
 TEST(ProfileRegistry, LookupIsLooseOnPunctuationAndCase) {
   ASSERT_TRUE(profiles::get("sonic-10k").has_value());
@@ -244,7 +257,7 @@ TEST(ProfileRegistry, LookupIsLooseOnPunctuationAndCase) {
   ASSERT_TRUE(profiles::get("SONIC 10K").has_value());
   EXPECT_EQ(profiles::get("sonic10k")->name, "sonic-10k");
   EXPECT_EQ(profiles::get("sonic10k")->net_bit_rate(100, 16),
-            profile_sonic10k().net_bit_rate(100, 16));
+            profiles::get("sonic-10k")->net_bit_rate(100, 16));
   EXPECT_FALSE(profiles::get("warp-1m").has_value());
   EXPECT_FALSE(profiles::get("").has_value());
 }
@@ -274,7 +287,7 @@ TEST(ProfileRegistry, RegisterCustomRung) {
 class OfdmLoopbackTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OfdmLoopbackTest, CleanLoopbackAllProfiles) {
-  const auto profiles = all_profiles();
+  const auto profiles = profiles::all();
   const auto& profile = profiles[static_cast<std::size_t>(GetParam())];
   OfdmModem modem(profile);
   Rng rng(10);
@@ -298,7 +311,7 @@ TEST_P(OfdmLoopbackTest, CleanLoopbackAllProfiles) {
 
 INSTANTIATE_TEST_SUITE_P(AllProfiles, OfdmLoopbackTest, ::testing::Values(0, 1, 2, 3),
                          [](const auto& info) {
-                           std::string name = all_profiles()[static_cast<std::size_t>(info.param)].name;
+                           std::string name = profiles::all()[static_cast<std::size_t>(info.param)].name;
                            for (auto& c : name) {
                              if (c == '-') c = '_';
                            }
@@ -306,7 +319,7 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, OfdmLoopbackTest, ::testing::Values(0, 1, 
                          });
 
 TEST(Ofdm, NoisyLoopbackSonic10k) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(11);
   std::vector<Bytes> frames;
   for (int i = 0; i < 10; ++i) frames.push_back(random_bytes(rng, 100));
@@ -318,7 +331,7 @@ TEST(Ofdm, NoisyLoopbackSonic10k) {
 }
 
 TEST(Ofdm, RobustProfileSurvivesLowSnr) {
-  OfdmModem modem(profile_robust2k());
+  OfdmModem modem(*profiles::get("robust-2k"));
   Rng rng(12);
   std::vector<Bytes> frames;
   for (int i = 0; i < 4; ++i) frames.push_back(random_bytes(rng, 100));
@@ -335,7 +348,7 @@ TEST(Ofdm, HighOrderProfileDiesAtLowSnrButRobustLives) {
   std::vector<Bytes> frames;
   for (int i = 0; i < 4; ++i) frames.push_back(random_bytes(rng, 100));
 
-  OfdmModem fast(profile_sonic10k());
+  OfdmModem fast(*profiles::get("sonic-10k"));
   auto noisy = fast.modulate(frames);
   add_awgn(noisy, 10.0, rng);
   const auto fast_burst = fast.receive_one(noisy);
@@ -344,7 +357,7 @@ TEST(Ofdm, HighOrderProfileDiesAtLowSnrButRobustLives) {
 }
 
 TEST(Ofdm, ReceiveAllFindsMultipleBursts) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(14);
   std::vector<float> stream(1000, 0.0f);
   std::vector<std::vector<Bytes>> sent;
@@ -368,13 +381,13 @@ TEST(Ofdm, ReceiveAllFindsMultipleBursts) {
 }
 
 TEST(Ofdm, SilenceYieldsNothing) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   std::vector<float> silence(50000, 0.0f);
   EXPECT_FALSE(modem.receive_one(silence).has_value());
 }
 
 TEST(Ofdm, PureNoiseYieldsNothing) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(15);
   std::vector<float> noise(60000);
   for (auto& s : noise) s = static_cast<float>(rng.normal(0.0, 0.1));
@@ -387,7 +400,7 @@ TEST(Ofdm, PureNoiseYieldsNothing) {
 
 TEST(Ofdm, AmplitudeScalingTolerance) {
   // Automatic gain: the receiver must handle attenuated signals.
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(16);
   std::vector<Bytes> frames{random_bytes(rng, 100)};
   auto samples = modem.modulate(frames);
@@ -398,7 +411,7 @@ TEST(Ofdm, AmplitudeScalingTolerance) {
 }
 
 TEST(Ofdm, TimingOffsetHalfSymbolStillSyncs) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(17);
   std::vector<Bytes> frames{random_bytes(rng, 100)};
   const auto samples = modem.modulate(frames);
@@ -412,7 +425,7 @@ TEST(Ofdm, TimingOffsetHalfSymbolStillSyncs) {
 }
 
 TEST(Ofdm, BurstSamplesMatchesModulateOutput) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   Rng rng(18);
   for (std::size_t count : {1u, 7u}) {
     std::vector<Bytes> frames;
@@ -422,7 +435,7 @@ TEST(Ofdm, BurstSamplesMatchesModulateOutput) {
 }
 
 TEST(Ofdm, RejectsMalformedBursts) {
-  OfdmModem modem(profile_sonic10k());
+  OfdmModem modem(*profiles::get("sonic-10k"));
   EXPECT_THROW(modem.modulate({}), std::invalid_argument);
   EXPECT_THROW(modem.modulate({Bytes{}}), std::invalid_argument);
   EXPECT_THROW(modem.modulate({Bytes{1, 2}, Bytes{1, 2, 3}}), std::invalid_argument);
@@ -475,7 +488,7 @@ TEST(Fsk, RateIsOrdersOfMagnitudeBelowOfdm) {
   // hundreds of bps; the OFDM profile is ~10 kbps.
   FskProfile fsk;
   EXPECT_LT(fsk.bit_rate(), 1000.0);
-  EXPECT_GT(profile_sonic10k().net_bit_rate(), 10.0 * fsk.bit_rate());
+  EXPECT_GT(profiles::get("sonic-10k")->net_bit_rate(), 10.0 * fsk.bit_rate());
 }
 
 TEST(Fsk, RejectsBadProfiles) {

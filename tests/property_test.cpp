@@ -160,7 +160,7 @@ class OfdmFrameSizeTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OfdmFrameSizeTest, LoopbackAcrossFrameSizes) {
   const int frame_len = GetParam();
-  modem::OfdmModem modem(modem::profile_sonic10k());
+  modem::OfdmModem modem(*modem::profiles::get("sonic-10k"));
   Rng rng(static_cast<std::uint64_t>(frame_len));
   std::vector<Bytes> frames;
   for (int i = 0; i < 3; ++i) {
@@ -177,7 +177,7 @@ TEST_P(OfdmFrameSizeTest, LoopbackAcrossFrameSizes) {
 INSTANTIATE_TEST_SUITE_P(FrameSizes, OfdmFrameSizeTest, ::testing::Values(1, 7, 50, 100, 333, 1000));
 
 TEST(OfdmProperty, ReceiverSurvivesTruncatedStreams) {
-  modem::OfdmModem modem(modem::profile_sonic10k());
+  modem::OfdmModem modem(*modem::profiles::get("sonic-10k"));
   Rng rng(23);
   std::vector<Bytes> frames;
   for (int i = 0; i < 4; ++i) {

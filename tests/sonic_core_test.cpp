@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 
+#include "fec/fountain.hpp"
 #include "sonic/cache.hpp"
 #include "sonic/client.hpp"
 #include "sonic/framing.hpp"
@@ -459,6 +462,263 @@ TEST(ServerClient, LossyDeliveryStillYieldsReadablePage) {
   ASSERT_NE(page, nullptr);
   EXPECT_GT(page->coverage, 0.75);
   EXPECT_NEAR(page->frame_loss_rate(), 0.10, 0.07);
+}
+
+// ------------------------------------------------- Scheduler: preemption ---
+
+TEST(Scheduler, UserRequestPreemptsCarouselAtFrameBoundary) {
+  BroadcastScheduler sched({8000.0, 1});  // 1000 B/s = 10 frames/s
+  sched.enqueue("carousel:page", 1000, 0.0, 0, /*preemptible=*/true);
+  sched.advance(0.25);  // 250 B sent: frame 3 is on the air
+  sched.enqueue("urgent", 300, 0.25, 1);
+  EXPECT_EQ(sched.preemptions(), 1u);
+  const auto done = sched.advance(10.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].url, "urgent");
+  EXPECT_EQ(done[1].url, "carousel:page");
+  // The in-flight frame (bytes 200..300) still went out; the carousel
+  // resumed with exactly its 7 unsent frames — nothing re-transmitted.
+  EXPECT_EQ(done[1].bytes, 700u);
+  EXPECT_NEAR(done[0].completed_at_s, 0.55, 0.01);
+  EXPECT_NEAR(done[1].completed_at_s, 1.25, 0.01);
+}
+
+TEST(Scheduler, EqualPriorityDoesNotPreemptCarousel) {
+  BroadcastScheduler sched({8000.0, 1});
+  sched.enqueue("carousel:page", 1000, 0.0, 0, /*preemptible=*/true);
+  sched.advance(0.25);
+  sched.enqueue("refresh", 300, 0.25, 0);  // same lane: waits its turn
+  EXPECT_EQ(sched.preemptions(), 0u);
+  const auto done = sched.advance(10.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].url, "carousel:page");
+  EXPECT_EQ(done[1].url, "refresh");
+}
+
+// --------------------------------------------------------------- Carousel ---
+
+std::size_t count_repair_frames(const PageBundle& bundle) {
+  std::size_t repairs = 0;
+  for (const auto& frame : bundle.frames) {
+    if (frame[8] == kFrameTypeRepair) ++repairs;
+  }
+  return repairs;
+}
+
+TEST(Carousel, PopularityCatalogAndPersistentRepairStream) {
+  World w;
+  w.server_params.carousel_enabled = true;
+  w.server_params.carousel.max_pages = 2;
+  w.server_params.carousel.repair_overhead = 0.25;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  const std::string hot = w.corpus.pages()[0].url;
+  const std::string warm = w.corpus.pages()[1].url;
+  const std::string cold = w.corpus.pages()[2].url;
+
+  auto make_client = [&](const std::string& phone) {
+    SonicClient::Params cp;
+    cp.phone_number = phone;
+    cp.lat = 31.52;
+    cp.lon = 74.35;
+    return SonicClient(&w.gateway, cp);
+  };
+  auto a = make_client("+923001111100");
+  auto b = make_client("+923001111101");
+  a.request(hot, 0.0);
+  b.request(hot, 0.0);
+  a.request(warm, 1.0);
+  // `cold` gets no hits at all and must stay out of the catalog.
+  server.poll_sms(10.0);
+
+  // First advance: the user broadcasts drain and the first carousel cycle
+  // is enqueued (its airtime starts at the next advance).
+  server.advance(10000.0);
+  ASSERT_NE(server.carousel(), nullptr);
+  const auto catalog = server.carousel()->catalog();
+  ASSERT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog[0].first, hot);
+  EXPECT_EQ(catalog[0].second, 2u);
+  EXPECT_EQ(catalog[1].first, warm);
+  for (const auto& [url, hits] : catalog) EXPECT_NE(url, cold);
+
+  // Cycle 1 completes; each page carries its 25 % repair tail.
+  const auto cycle1 = server.advance(30000.0);
+  ASSERT_EQ(cycle1.size(), 2u);
+  EXPECT_EQ(server.carousel()->cycles_completed(), 1u);
+  std::map<std::string, PageBundle> first;
+  for (const auto& done : cycle1) first[done.bundle.metadata.url] = done.bundle;
+  ASSERT_TRUE(first.count(hot) == 1 && first.count(warm) == 1);
+  const std::size_t repairs1 = count_repair_frames(first[hot]);
+  const std::size_t sources1 = first[hot].frames.size() - repairs1;
+  EXPECT_EQ(repairs1, static_cast<std::size_t>(std::ceil(sources1 * 0.25)));
+
+  // Cycle 2: same catalog, but the repair stream continues where cycle 1
+  // stopped — fresh equations, not a replay.
+  server.advance(30001.0);  // enqueue cycle 2
+  const auto cycle2 = server.advance(60000.0);
+  ASSERT_EQ(cycle2.size(), 2u);
+  EXPECT_EQ(server.carousel()->cycles_completed(), 2u);
+  std::map<std::string, PageBundle> second;
+  for (const auto& done : cycle2) second[done.bundle.metadata.url] = done.bundle;
+  const std::size_t repairs2 = count_repair_frames(second[hot]);
+  EXPECT_EQ(server.carousel()->next_repair_seq(hot), repairs1 + repairs2);
+  // Cycle 2's repair tail continues the stream where cycle 1 stopped (the
+  // wire seq of its first repair frame is cycle 1's count), so receivers
+  // accumulate fresh equations instead of a replay.
+  const auto parsed =
+      parse_frame(*(second[hot].frames.end() - static_cast<long>(repairs2)));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.type, kFrameTypeRepair);
+  EXPECT_EQ(parsed->first.seq, repairs1);
+}
+
+TEST(Carousel, UserRequestCutsInMidCycle) {
+  World w;
+  w.server_params.carousel_enabled = true;
+  w.server_params.carousel.max_pages = 1;
+  w.server_params.rate_bps = 1000.0;  // 125 B/s: a page stays on the air for minutes
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient::Params cp;
+  cp.phone_number = "+923001112222";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  SonicClient client(&w.gateway, cp);
+
+  const std::string popular = w.corpus.pages()[0].url;
+  const std::string wanted = w.corpus.pages()[5].url;
+  client.request(popular, 0.0);
+  server.poll_sms(5.0);
+  server.advance(100000.0);  // user broadcast done; carousel cycle enqueued
+  ASSERT_EQ(server.carousel()->pages_in_flight(), 1u);
+  server.advance(100001.0);  // a second of cycle airtime: mid-page
+
+  client.request(wanted, 100001.0);
+  server.poll_sms(100010.0);  // SMS delivered; preempts the carousel at a frame boundary
+  EXPECT_GE(server.scheduler().preemptions(), 1u);
+  const auto done = server.advance(200000.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].bundle.metadata.url, wanted);  // the user page cut in
+  EXPECT_EQ(done[1].bundle.metadata.url, popular);
+  EXPECT_LT(done[0].completed_at_s, done[1].completed_at_s);
+  EXPECT_EQ(server.carousel()->cycles_completed(), 1u);
+}
+
+// -------------------------------------------- Wire compatibility (v1/v2) ---
+
+TEST(Framing, SeedReceiverIgnoresRepairFramesGracefully) {
+  // A v1-era receiver is a bare PageAssembler: repair frames must be inert
+  // for it — no crash, no state corruption, page decodes from the sources.
+  const auto page = small_page();
+  const auto bundle = make_bundle(31, "compat.pk/", page, {10, 94});
+  fec::FountainEncoder encoder(31, bundle_fountain_blocks(bundle));
+  PageAssembler assembler;
+  const auto k = static_cast<std::uint16_t>(bundle.frames.size());
+  for (std::uint16_t r = 0; r < 8; ++r) {  // repair tail interleaved up front
+    assembler.push(serialize_repair_frame(31, r, k, encoder.repair_symbol(r)));
+  }
+  for (const auto& frame : bundle.frames) assembler.push(frame);
+  EXPECT_TRUE(assembler.complete(31));
+  const auto received = assembler.assemble(31, image::InterpolationMode::kLeft);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->coverage, 1.0);
+  EXPECT_EQ(received->frames_received, static_cast<std::size_t>(k));  // repairs not counted
+}
+
+TEST(Framing, FountainBlockRoundTripsSourceFrames) {
+  const auto page = small_page();
+  const auto bundle = make_bundle(8, "block.pk/", page, {10, 94});
+  const auto k = static_cast<std::uint16_t>(bundle.frames.size());
+  for (std::uint16_t seq = 0; seq < k; ++seq) {
+    const auto rebuilt = frame_from_fountain_block(8, seq, k, fountain_block(bundle.frames[seq]));
+    ASSERT_TRUE(rebuilt.has_value()) << "seq " << seq;
+    EXPECT_EQ(*rebuilt, bundle.frames[seq]) << "seq " << seq;
+  }
+}
+
+// ------------------------------------------------- Client: v2 + hardening ---
+
+TEST(ServerClient, MalformedFramesAreDroppedAndCounted) {
+  SonicClient client(nullptr, SonicClient::Params{});
+
+  client.on_frame(util::Bytes(50, 0));   // short
+  client.on_frame(util::Bytes(101, 0));  // oversized
+  auto bad_type = serialize_frame({1, 0, 4, 1}, util::Bytes{1, 2, 3});
+  bad_type[8] = 9;  // unknown type
+  client.on_frame(bad_type);
+  client.on_frame(serialize_frame({1, 5, 3, 1}, util::Bytes{1}));  // seq >= total
+  auto bad_len = serialize_frame({1, 0, 4, 1}, util::Bytes{1, 2, 3});
+  bad_len[9] = 0xff;  // payload_len runs past the frame end
+  client.on_frame(bad_len);
+  auto zero_total_repair = serialize_repair_frame(1, 0, 4, util::Bytes(kFountainBlockSize, 0));
+  zero_total_repair[6] = 0;  // total (k) = 0
+  zero_total_repair[7] = 0;
+  client.on_frame(zero_total_repair);
+  EXPECT_EQ(client.frames_dropped_malformed(), 6u);
+  EXPECT_EQ(client.frames_received(), 0u);
+
+  // A valid repair frame establishes k = 4 for page 1; a later repair frame
+  // claiming k = 7 contradicts it and is dropped, not believed.
+  client.on_frame(serialize_repair_frame(1, 0, 4, util::Bytes(kFountainBlockSize, 0)));
+  client.on_frame(serialize_repair_frame(1, 1, 7, util::Bytes(kFountainBlockSize, 0)));
+  EXPECT_EQ(client.frames_dropped_malformed(), 7u);
+  EXPECT_EQ(client.frames_received(), 1u);
+  EXPECT_EQ(client.repair_frames_received(), 1u);
+  EXPECT_EQ(client.metrics().counter_value("frames_dropped_malformed"), 7u);
+
+  // Valid source frames still flow after all that garbage.
+  client.on_frame(serialize_frame({2, 0, 1, 1}, util::Bytes{42}));
+  EXPECT_EQ(client.frames_received(), 2u);
+  client.flush(0.0);  // and nothing above corrupted flushable state
+}
+
+TEST(ServerClient, DownlinkOnlyClientConvergesViaCarouselRepair) {
+  World w;
+  w.server_params.carousel_enabled = true;
+  w.server_params.carousel.max_pages = 1;
+  w.server_params.carousel.repair_overhead = 0.5;
+  SonicServer server(&w.corpus, &w.gateway, w.server_params);
+  SonicClient::Params cp;
+  cp.phone_number = "+923001113333";
+  cp.lat = 31.52;
+  cp.lon = 74.35;
+  SonicClient requester(&w.gateway, cp);
+  const std::string url = w.corpus.pages()[3].url;
+  requester.request(url, 0.0);
+  server.poll_sms(5.0);
+
+  // User B: downlink only, 35 % frame loss — beyond what interpolation can
+  // paper over, but the cyclic repair stream keeps supplying fresh symbols.
+  SonicClient listener(nullptr, SonicClient::Params{});
+  SonicClient reference(nullptr, SonicClient::Params{});
+  Rng rng(77);
+  // Short rounds, all inside one render epoch, so every cycle rebroadcasts
+  // the same bundle (a re-render would legitimately mint a new page).
+  double now = 10.0;
+  for (int round = 0; round < 6; ++round) {
+    now += 300.0;
+    for (const auto& done : server.advance(now)) {
+      for (const auto& frame : done.bundle.frames) {
+        reference.on_frame(frame);
+        if (!rng.bernoulli(0.35)) listener.on_frame(frame);
+      }
+    }
+  }
+  const auto cached = listener.flush(now);
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_EQ(cached[0], url);
+  EXPECT_EQ(listener.pages_fountain_decoded(), 1u);
+
+  const ReceivedPage* page = listener.cache().get(url, now);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->coverage, 1.0);  // every pixel received, none interpolated
+
+  // Byte-identical to a lossless reception of the same broadcast.
+  reference.flush(now);
+  const ReceivedPage* truth = reference.cache().get(url, now);
+  ASSERT_NE(truth, nullptr);
+  ASSERT_EQ(page->image.width(), truth->image.width());
+  ASSERT_EQ(page->image.height(), truth->image.height());
+  EXPECT_TRUE(page->image.pixels() == truth->image.pixels());
 }
 
 }  // namespace
