@@ -11,7 +11,7 @@ JOBS="${1:-$(nproc)}"
 
 echo "== full test suite under AddressSanitizer =="
 cmake -B build-asan -S . -DSONIC_ASAN=ON
-cmake --build build-asan -j "$JOBS" --target sonic_tests
+cmake --build build-asan -j "$JOBS" --target sonic_tests sonic_uplink_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "asan OK"

@@ -10,6 +10,13 @@
 // converges (flush() prefers that over interpolation). Malformed frames —
 // wrong size, unknown type, seq past total, payload length past the frame
 // end — are dropped and counted, never interpreted.
+//
+// The uplink path is a per-request retry state machine: every request gets
+// a wire-format id, an ACK-await deadline, and capped exponential backoff
+// with jitter. Silent SMS loss therefore costs a timeout, not the page;
+// a server "RETRY <sec>" shed is honored as a scheduled resend; requests
+// that exhaust max_attempts land in a terminal give-up state surfaced via
+// the client Metrics registry.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +33,27 @@
 #include "sonic/cache.hpp"
 #include "sonic/framing.hpp"
 #include "sonic/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace sonic::core {
+
+// Retry/backoff knobs for the SMS uplink state machine. Attempt k waits
+// min(backoff_cap_s, ack_timeout_s * backoff_factor^(k-1)) for its ACK,
+// jittered by ±jitter_frac, before the next resend; after max_attempts
+// unanswered sends the request gives up.
+struct UplinkPolicy {
+  double ack_timeout_s = 30.0;   // first ACK-await window
+  int max_attempts = 6;          // total sends (1 original + retries)
+  double backoff_factor = 2.0;
+  double backoff_cap_s = 240.0;
+  double jitter_frac = 0.1;      // uniform ± fraction on every wait
+  std::uint64_t seed = 0x534d5355ull;  // jitter stream ("SMSU")
+};
+
+// Lifecycle of one uplink request. kAwaitingAck and kBackoff are live
+// (kBackoff = resend scheduled after a server RETRY shed); the rest are
+// terminal.
+enum class UplinkState { kAwaitingAck, kBackoff, kAccepted, kRejected, kGaveUp };
 
 class SonicClient {
  public:
@@ -42,6 +68,8 @@ class SonicClient {
     // Fountain decoder knobs; must match the station's encoder (both sides
     // ship the same defaults).
     fec::FountainParams fountain;
+    // Uplink retry/backoff state machine (ignored for downlink-only users).
+    UplinkPolicy uplink;
 
     // Descriptive configuration errors; empty when sane. The constructor
     // calls this and throws std::invalid_argument on nonsense (zero-width
@@ -94,8 +122,26 @@ class SonicClient {
   // under "search:<query>" and lands in the cache like any page.
   TapResult ask(const std::string& query, double now_s);
 
-  // Delivered server ACKs/NACKs.
+  // ---- uplink state machine ----------------------------------------------
+
+  // Drives timeouts: resends requests whose ACK-await deadline passed
+  // (capped exponential backoff with jitter) and retires requests that
+  // exhausted max_attempts into the kGaveUp terminal state. poll_acks()
+  // calls this too, so a client that polls regularly needs no extra driver.
+  void tick(double now_s);
+
+  // Delivered server responses that *settled* a request: accepted ACKs and
+  // terminal NACKs. Flow-control traffic is consumed internally — duplicate
+  // and stale ACKs are dropped (counted), "RETRY <sec>" sheds schedule a
+  // resend, delivery reports are counted. Calls tick(now_s).
   std::vector<sms::RequestAck> poll_acks(double now_s);
+
+  // Live (kAwaitingAck/kBackoff) uplink requests.
+  std::size_t uplink_pending() const { return uplink_pending_.size(); }
+  // State of a request id issued by this client, live or terminal.
+  std::optional<UplinkState> uplink_state(std::uint32_t id) const;
+  // The id of the most recently issued request (0 when none yet).
+  std::uint32_t last_uplink_id() const { return next_request_id_ - 1; }
 
   const PageCache& cache() const { return cache_; }
   std::size_t frames_received() const { return frames_received_; }
@@ -109,13 +155,33 @@ class SonicClient {
     return metrics_->counter_value("pages_fountain_decoded");
   }
 
-  // Client-side registry: frames_dropped_malformed / repair_frames_received
-  // counters, fountain convergence histograms (fountain_repairs_used,
-  // fountain_reception_overhead), pages_fountain_decoded.
+  // Client-side registry. Downlink: frames_dropped_malformed /
+  // repair_frames_received counters, fountain convergence histograms
+  // (fountain_repairs_used, fountain_reception_overhead),
+  // pages_fountain_decoded. Uplink: uplink_requests, uplink_retries,
+  // uplink_server_retries (RETRY sheds honored), uplink_acked,
+  // uplink_rejected, uplink_gave_up, uplink_stale_acks, uplink_coalesced,
+  // uplink_delivery_reports counters; uplink_ack_latency_s /
+  // uplink_attempts histograms.
   Metrics& metrics() { return *metrics_; }
   const Metrics& metrics() const { return *metrics_; }
 
  private:
+  // One live uplink request: the same body (same id) is resent verbatim on
+  // every attempt, so the server's dedup table can recognize it.
+  struct PendingUplink {
+    std::uint32_t id = 0;
+    std::string url;
+    std::string body;
+    int attempts = 0;
+    UplinkState state = UplinkState::kAwaitingAck;
+    double deadline_s = 0.0;    // ACK-await timeout or scheduled resend time
+    double first_sent_s = 0.0;
+  };
+
+  TapResult start_uplink_request(const std::string& url, std::string body, double now_s);
+  void send_attempt(PendingUplink& p, double now_s);
+  double jittered(double wait_s);
   // The decoder for page_id (k source frames), created on the first repair
   // frame and backfilled with already-received source frames; null if a
   // conflicting k was already established.
@@ -130,6 +196,12 @@ class SonicClient {
   std::size_t frames_received_ = 0;
   std::size_t frames_dropped_malformed_ = 0;
   std::size_t repair_frames_received_ = 0;
+  // Uplink state machine: live requests by id, terminal outcomes kept for
+  // uplink_state() queries and stale-ACK classification.
+  std::map<std::uint32_t, PendingUplink> uplink_pending_;
+  std::map<std::uint32_t, UplinkState> uplink_done_;
+  std::uint32_t next_request_id_ = 1;
+  util::Rng uplink_rng_{0};  // reseeded from params in the constructor
 };
 
 }  // namespace sonic::core

@@ -53,6 +53,12 @@ std::vector<std::string> SonicServer::Params::validate() const {
     if (!(t.range_km > 0.0)) errors.push_back("transmitter '" + t.name + "' range_km must be positive");
   }
   if (page_expiry_s == 0) errors.push_back("page_expiry_s must be nonzero");
+  if (!(dedup_ttl_s > 0.0)) errors.push_back("dedup_ttl_s must be positive");
+  if (shed_backlog_bytes < 0.0) errors.push_back("shed_backlog_bytes must be >= 0 (0 disables shedding)");
+  if (!(shed_retry_floor_s > 0.0)) errors.push_back("shed_retry_floor_s must be positive");
+  if (shed_retry_cap_s < shed_retry_floor_s) {
+    errors.push_back("shed_retry_cap_s must be >= shed_retry_floor_s");
+  }
   for (const auto& e : pipeline_params(*this).validate()) errors.push_back(e);
   if (carousel_enabled) {
     for (const auto& e : carousel.validate()) errors.push_back(e);
@@ -114,41 +120,124 @@ std::size_t SonicServer::total_queue_length() const {
   return total;
 }
 
+void SonicServer::purge_dedup(double now_s) {
+  for (auto it = dedup_.begin(); it != dedup_.end();) {
+    if (it->second.last_seen_s + params_.dedup_ttl_s <= now_s) {
+      it = dedup_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SonicServer::answer(const std::string& to, const sms::RequestAck& ack, double now_s) {
+  metrics_->counter(ack.accepted ? "acks_sent" : "nacks_sent").add(1);
+  gateway_->send({params_.phone_number, to, sms::encode_ack(ack), now_s, 0}, now_s);
+}
+
 void SonicServer::poll_sms(double now_s) {
+  purge_dedup(now_s);
   for (const sms::SmsMessage& msg : gateway_->deliver_due(params_.phone_number, now_s)) {
     auto request = sms::parse_request(msg.body);
     if (!request) {
       // Search queries map onto the same flow under a synthetic URL.
       if (const auto query = sms::parse_query(msg.body)) {
-        request = sms::PageRequest{"search:" + query->query, query->lat, query->lon};
+        request = sms::PageRequest{"search:" + query->query, query->lat, query->lon, query->id};
       }
     }
-    if (!request) continue;
+    if (!request) {
+      metrics_->counter("requests_malformed").add(1);
+      continue;
+    }
+    metrics_->counter("requests_received").add(1);
     sms::RequestAck ack;
     ack.url = request->url;
+    ack.id = request->id;  // echoed so the client can match retransmissions
+
+    // Idempotency: a retransmission or SMSC duplicate replays the recorded
+    // outcome — re-ACK with a fresh ETA, never a second broadcast.
+    const std::string dedup_key =
+        msg.from + '\x1f' + std::to_string(request->id) + '\x1f' + request->url;
+    if (const auto seen = dedup_.find(dedup_key); seen != dedup_.end()) {
+      metrics_->counter("requests_deduped").add(1);
+      DedupEntry& entry = seen->second;
+      // Sliding TTL: every duplicate renews the entry, so it expires only
+      // once the client's retry schedule has gone quiet — a backoff cap
+      // longer than the TTL cannot resurrect the request as a second
+      // broadcast.
+      entry.last_seen_s = now_s;
+      ack.accepted = entry.accepted;
+      if (entry.accepted) {
+        ack.frequency_mhz = entry.frequency_mhz;
+        ack.eta_s = std::max(0.0, entry.expected_complete_at_s - now_s);
+      } else {
+        ack.reason = entry.reason;
+      }
+      answer(msg.from, ack, now_s);
+      continue;
+    }
 
     const Transmitter* tx = route(request->lat, request->lon);
-    std::shared_ptr<const PageBundle> bundle;
-    if (tx) bundle = pipeline_.prepare_one(request->url, now_s);
     if (!tx) {
       ack.accepted = false;
       ack.reason = "no-coverage";
-    } else if (bundle) {
-      BroadcastScheduler& shard = shards_[shard_of(*tx)];
+      dedup_[dedup_key] = {request->url, now_s, 0.0, 0.0, false, ack.reason};
+      metrics_->counter("requests_rejected").add(1);
+      answer(msg.from, ack, now_s);
+      continue;
+    }
+    const std::size_t shard_idx = shard_of(*tx);
+    BroadcastScheduler& shard = shards_[shard_idx];
+
+    // Overload shedding: past the backlog bound, answer "RETRY <sec>"
+    // (derived from the drain time) without rendering. No dedup entry —
+    // the client's resend after the wait must be served, not replayed.
+    if (params_.shed_backlog_bytes > 0.0 && shard.backlog_bytes() > params_.shed_backlog_bytes) {
+      const double drain_s = shard.backlog_bytes() * 8.0 / shard.aggregate_rate_bps();
+      const double retry_s = std::clamp(drain_s, params_.shed_retry_floor_s, params_.shed_retry_cap_s);
+      ack.accepted = false;
+      ack.reason = "RETRY " + std::to_string(static_cast<int>(std::ceil(retry_s)));
+      metrics_->counter("requests_shed").add(1);
+      answer(msg.from, ack, now_s);
+      continue;
+    }
+
+    // Same page already on the air for this shard (another user asked
+    // first): the one broadcast serves both — ACK with its ETA.
+    const std::string inflight_key = std::to_string(shard_idx) + '\x1f' + request->url;
+    if (const auto flying = inflight_.find(inflight_key); flying != inflight_.end()) {
       ack.accepted = true;
       ack.frequency_mhz = tx->frequency_mhz;
-      // eta evaluated at now_s so the promise matches the shard's actual
-      // completion time even when the shard clock lags the SMS poll.
-      ack.eta_s = shard.eta_s(bundle->total_bytes(), now_s);
-      shard.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
-      pending_route_[bundle->metadata.url] = *tx;
-      if (carousel_) carousel_->record_hit(bundle->metadata.url);
-      queued_bundles_[bundle->metadata.url] = std::move(bundle);
-    } else {
+      ack.eta_s = std::max(0.0, flying->second - now_s);
+      dedup_[dedup_key] = {request->url, now_s, flying->second, tx->frequency_mhz, true, ""};
+      if (carousel_) carousel_->record_hit(request->url);
+      metrics_->counter("requests_coalesced").add(1);
+      answer(msg.from, ack, now_s);
+      continue;
+    }
+
+    std::shared_ptr<const PageBundle> bundle = pipeline_.prepare_one(request->url, now_s);
+    if (!bundle) {
       ack.accepted = false;
       ack.reason = "unknown-page";
+      dedup_[dedup_key] = {request->url, now_s, 0.0, 0.0, false, ack.reason};
+      metrics_->counter("requests_rejected").add(1);
+      answer(msg.from, ack, now_s);
+      continue;
     }
-    gateway_->send({params_.phone_number, msg.from, sms::encode_ack(ack), now_s, 0}, now_s);
+    ack.accepted = true;
+    ack.frequency_mhz = tx->frequency_mhz;
+    // eta evaluated at now_s so the promise matches the shard's actual
+    // completion time even when the shard clock lags the SMS poll.
+    ack.eta_s = shard.eta_s(bundle->total_bytes(), now_s);
+    shard.enqueue(bundle->metadata.url, bundle->total_bytes(), now_s, /*priority=*/1);
+    pending_route_[bundle->metadata.url] = *tx;
+    if (carousel_) carousel_->record_hit(bundle->metadata.url);
+    inflight_[inflight_key] = now_s + ack.eta_s;
+    dedup_[dedup_key] = {request->url, now_s, now_s + ack.eta_s, tx->frequency_mhz, true, ""};
+    queued_bundles_[bundle->metadata.url] = std::move(bundle);
+    metrics_->counter("requests_served").add(1);
+    answer(msg.from, ack, now_s);
   }
 }
 
@@ -203,6 +292,15 @@ std::vector<CompletedBroadcast> SonicServer::advance(double now_s) {
       if (queued == queued_bundles_.end()) continue;
       if (carousel_ && item.url.starts_with(kCarouselKeyPrefix)) {
         carousel_->on_broadcast_complete(item.url, item.completed_at_s);
+      }
+      // The page left the air: close the coalescing window and pin every
+      // dedup entry's ETA to the actual completion, so late duplicates are
+      // re-ACKed with "already broadcast" (ETA 0) instead of a stale guess.
+      inflight_.erase(std::to_string(i) + '\x1f' + item.url);
+      for (auto& [key, entry] : dedup_) {
+        if (entry.url == item.url && entry.accepted) {
+          entry.expected_complete_at_s = std::min(entry.expected_complete_at_s, item.completed_at_s);
+        }
       }
       CompletedBroadcast done;
       const auto routed = pending_route_.find(item.url);

@@ -6,6 +6,14 @@
 // Rendering/encoding/framing runs through a BroadcastPipeline (worker pool
 // + LRU render cache); each transmitter drains its own BroadcastScheduler
 // shard, so a backlog at one station no longer delays the others.
+//
+// poll_sms() is idempotent against the SMS network's faults: a TTL'd dedup
+// table keyed on (sender, request id, url) re-ACKs retransmissions and
+// duplicate deliveries with a fresh ETA instead of re-enqueueing; same-url
+// requests from different users coalesce onto the in-flight broadcast; and
+// when a shard's backlog exceeds a configurable bound, new requests are
+// shed with "RETRY <sec>" NACKs that the client honors as scheduled
+// resends.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +72,18 @@ class SonicServer {
     bool carousel_enabled = false;
     Carousel::Params carousel;
 
+    // Uplink idempotency and overload control. A request whose last copy
+    // (same sender, id, url) arrived less than dedup_ttl_s ago is re-ACKed,
+    // never re-served; each duplicate renews the window (sliding TTL), so
+    // the entry outlives any retry schedule with gaps below the TTL.
+    // When a shard's backlog exceeds shed_backlog_bytes (> 0 enables
+    // shedding), new requests are NACKed "RETRY <sec>" with sec derived
+    // from the backlog's drain time, clamped to [floor, cap].
+    double dedup_ttl_s = 900.0;
+    double shed_backlog_bytes = 0.0;  // 0 = shedding disabled
+    double shed_retry_floor_s = 15.0;
+    double shed_retry_cap_s = 600.0;
+
     // Descriptive configuration errors (negative rate, zero frequencies,
     // empty transmitter list, zero cache, ...); empty when sane. The
     // constructor calls this and throws std::invalid_argument instead of
@@ -79,7 +99,11 @@ class SonicServer {
   // ETA + frequency) or NACKs each one and enqueues accepted pages for
   // broadcast on the covering transmitter's shard. Search queries
   // ("SONIC ASK ...") produce a results page broadcast under the url
-  // "search:<query>".
+  // "search:<query>". Idempotent: duplicates within dedup_ttl_s are
+  // re-ACKed with a fresh ETA and never enqueue a second broadcast;
+  // requests beyond the shard's shed bound are NACKed "RETRY <sec>".
+  // Registry counters: requests_received / served / deduped / coalesced /
+  // shed / rejected / malformed.
   void poll_sms(double now_s);
 
   // Preemptively pushes pages (e.g. the popular-news morning push, §3.1) on
@@ -119,10 +143,25 @@ class SonicServer {
   // the user's location so the proper transmitter can be informed).
   const Transmitter* route(double lat, double lon) const;
 
+  // Requests currently deduplicated (live TTL window); exposed for tests.
+  std::size_t dedup_entries() const { return dedup_.size(); }
+
  private:
+  // Outcome of a request's first processing, replayed for duplicates.
+  struct DedupEntry {
+    std::string url;
+    double last_seen_s = 0.0;  // renewed on every duplicate (sliding TTL)
+    double expected_complete_at_s = 0.0;  // refreshed to actual on completion
+    double frequency_mhz = 0.0;
+    bool accepted = false;
+    std::string reason;  // when !accepted
+  };
+
   std::size_t shard_of(const Transmitter& tx) const;
   int push_to_shard(std::size_t shard, const std::vector<std::string>& urls, double now_s,
                     int priority);
+  void purge_dedup(double now_s);
+  void answer(const std::string& to, const sms::RequestAck& ack, double now_s);
 
   const web::PkCorpus* corpus_;
   sms::SmsGateway* gateway_;
@@ -135,6 +174,11 @@ class SonicServer {
   // Strong refs for everything enqueued, so an LRU eviction in the pipeline
   // cache cannot drop a bundle that is still waiting for airtime.
   std::map<std::string, std::shared_ptr<const PageBundle>> queued_bundles_;
+  // Uplink idempotency: "<sender>\x1f<id>\x1f<url>" -> first outcome.
+  std::map<std::string, DedupEntry> dedup_;
+  // User-requested broadcasts on the air: "<shard>\x1f<url>" -> expected
+  // completion, so same-url requests coalesce instead of re-enqueueing.
+  std::map<std::string, double> inflight_;
 };
 
 }  // namespace sonic::core

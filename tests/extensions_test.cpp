@@ -175,15 +175,20 @@ TEST(Search, ServerCachesResultsPages) {
   sp.layout = web::LayoutParams{240, 2000, 10, 2};
   core::SonicServer server(&corpus, &gateway, sp);
 
-  auto send_query = [&](double now) {
-    gateway.send({"+92300111", sp.phone_number, sms::encode_query({"mango prices", 0.0, 0.0}), now, 0},
+  auto send_query = [&](const std::string& from, double now) {
+    gateway.send({from, sp.phone_number, sms::encode_query({"mango prices", 0.0, 0.0}), now, 0},
                  now);
     server.poll_sms(now + 5.0);
   };
-  send_query(0.0);
-  send_query(60.0);  // same 6-hour window: cached render
+  send_query("+92300111", 0.0);
+  server.advance(15000.0);  // results page leaves the air
+  // A *different* user asking in the same 6-hour window reuses the cached
+  // render (the same user repeating would hit the uplink dedup table and
+  // never reach the pipeline at all).
+  send_query("+92300222", 16000.0);
   EXPECT_EQ(server.renders(), 1u);
   EXPECT_EQ(server.render_cache_hits(), 1u);
+  EXPECT_EQ(server.metrics().counter_value("requests_served"), 2u);
 }
 
 // -------------------------------------------------------------- scrambler ---

@@ -3,10 +3,14 @@
 // example-based tests.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "image/column_codec.hpp"
 #include "image/dct_codec.hpp"
 #include "modem/ofdm.hpp"
 #include "modem/profile.hpp"
+#include "sms/sms.hpp"
 #include "sonic/framing.hpp"
 #include "sonic/scheduler.hpp"
 #include "util/rng.hpp"
@@ -220,6 +224,197 @@ TEST(CorpusProperty, EveryPageParsesRendersAndHasWorkingLinks) {
       EXPECT_LE(region.y + region.h, page.image.height());
       EXPECT_NE(corpus.find(region.href), nullptr) << ref.url << " -> " << region.href;
     }
+  }
+}
+
+// ------------------------------------------------ SMS wire format (§3.1) ---
+
+// Golden vectors: the exact bytes on the wire, v1 (id-less, seed era) and
+// v2 (request id after the verb). These pin the protocol — an encoder
+// change that breaks deployed clients must fail here first.
+TEST(WireProtocol, GoldenVectors) {
+  EXPECT_EQ(sms::encode_request({"khabarnama.com.pk/story-2", 31.5204, 74.3587}),
+            "SONIC GET khabarnama.com.pk/story-2 @31.5204,74.3587");
+  EXPECT_EQ(sms::encode_request({"khabarnama.com.pk/story-2", 31.5204, 74.3587, 7}),
+            "SONIC GET 7 khabarnama.com.pk/story-2 @31.5204,74.3587");
+  EXPECT_EQ(sms::encode_query({"cricket scores", 31.52, 74.35}),
+            "SONIC ASK cricket scores @31.5200,74.3500");
+  EXPECT_EQ(sms::encode_query({"cricket scores", 31.52, 74.35, 12}),
+            "SONIC ASK 12 cricket scores @31.5200,74.3500");
+  EXPECT_EQ(sms::encode_ack({"dawn.com.pk/", 135.0, 93.7, true, ""}),
+            "SONIC ACK dawn.com.pk/ ETA 135s FM 93.7");
+  EXPECT_EQ(sms::encode_ack({"dawn.com.pk/", 135.0, 93.7, true, "", 7}),
+            "SONIC ACK 7 dawn.com.pk/ ETA 135s FM 93.7");
+  EXPECT_EQ(sms::encode_ack({"bank.pk/login", 0, 0, false, "auth-pages-unsupported"}),
+            "SONIC NACK bank.pk/login auth-pages-unsupported");
+  EXPECT_EQ(sms::encode_ack({"dawn.com.pk/", 0, 0, false, "RETRY 30", 7}),
+            "SONIC NACK 7 dawn.com.pk/ RETRY 30");
+
+  // And the reverse direction: raw v1 bodies (what a seed-era client sends)
+  // must keep parsing byte for byte.
+  const auto req = sms::parse_request("SONIC GET khabarnama.com.pk/story-2 @31.5204,74.3587");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->id, 0u);
+  EXPECT_EQ(req->url, "khabarnama.com.pk/story-2");
+  const auto shed = sms::parse_ack("SONIC NACK 7 dawn.com.pk/ RETRY 30");
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_FALSE(shed->accepted);
+  EXPECT_EQ(shed->id, 7u);
+  EXPECT_EQ(shed->url, "dawn.com.pk/");
+  EXPECT_DOUBLE_EQ(shed->retry_after_s, 30.0);
+}
+
+// Regression: URLs containing the ACK's own delimiters used to truncate the
+// parsed URL at the first occurrence; the suffix must bind rightmost.
+TEST(WireProtocol, AckUrlsContainingDelimitersParseFromTheRight) {
+  const auto ack = sms::parse_ack("SONIC ACK weird.pk/a ETA 5s FM 1/page ETA 120s FM 93.7");
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->url, "weird.pk/a ETA 5s FM 1/page");
+  EXPECT_DOUBLE_EQ(ack->eta_s, 120.0);
+  EXPECT_NEAR(ack->frequency_mhz, 93.7, 1e-9);
+
+  sms::RequestAck tricky{"news FM 101.pk/shows FM today", 45.0, 88.1, true, ""};
+  const auto parsed = sms::parse_ack(sms::encode_ack(tricky));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, tricky.url);
+  EXPECT_DOUBLE_EQ(parsed->eta_s, 45.0);
+
+  sms::RequestAck nack{"page with spaces.pk/x", 0, 0, false, "unknown-page"};
+  const auto nparsed = sms::parse_ack(sms::encode_ack(nack));
+  ASSERT_TRUE(nparsed.has_value());
+  EXPECT_EQ(nparsed->url, nack.url);
+  EXPECT_EQ(nparsed->reason, "unknown-page");
+}
+
+// Regression: encode_* used a fixed 256-byte buffer, silently truncating
+// long bodies into unparseable (or wrong-URL) messages.
+TEST(WireProtocol, LongBodiesEncodeWithoutTruncation) {
+  std::string url = "longsite.pk/";
+  url += std::string(300, 'a');
+  const std::string wire = sms::encode_request({url, 31.52, 74.35, 123456789});
+  EXPECT_GT(wire.size(), 300u);
+  EXPECT_GT(sms::sms_segment_count(wire), 1);  // multipart on the air
+  const auto parsed = sms::parse_request(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, url);
+  EXPECT_EQ(parsed->id, 123456789u);
+}
+
+namespace {
+
+// Adversarial-but-legal URL material: spaces, '@', commas, colons, digits.
+std::string random_url(Rng& rng) {
+  static const std::string chars = "abcdefghijklmnopqrstuvwxyz0123456789./:@-_, ";
+  const std::size_t len = 1 + rng.uniform_int(60);
+  std::string url;
+  for (std::size_t i = 0; i < len; ++i) url += chars[rng.uniform_int(chars.size())];
+  return url;
+}
+
+bool first_token_all_digits(const std::string& url) {
+  const auto sp = url.find(' ');
+  const std::string token = sp == std::string::npos ? url : url.substr(0, sp);
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(WireProtocol, RequestRoundTripsOverRandomizedUrlsAndCoords) {
+  Rng rng(31);
+  int checked = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    sms::PageRequest req;
+    req.url = random_url(rng);
+    // Documented v1 ambiguity: an id-less URL whose first token is purely
+    // numeric reads as a v2 id. Real URLs carry a dot or scheme; skip them.
+    req.id = rng.bernoulli(0.5) ? static_cast<std::uint32_t>(1 + rng.uniform_int(1u << 31)) : 0;
+    if (req.id == 0 && first_token_all_digits(req.url)) continue;
+    req.lat = rng.uniform(-89.9999, 89.9999);
+    req.lon = rng.uniform(-179.9999, 179.9999);
+    const auto parsed = sms::parse_request(sms::encode_request(req));
+    ASSERT_TRUE(parsed.has_value()) << sms::encode_request(req);
+    EXPECT_EQ(parsed->url, req.url);
+    EXPECT_EQ(parsed->id, req.id);
+    EXPECT_NEAR(parsed->lat, req.lat, 1e-4);
+    EXPECT_NEAR(parsed->lon, req.lon, 1e-4);
+    ++checked;
+  }
+  EXPECT_GT(checked, 400);  // the ambiguity filter must stay rare
+}
+
+TEST(WireProtocol, QueryRoundTripsOverRandomizedText) {
+  Rng rng(37);
+  for (int trial = 0; trial < 300; ++trial) {
+    sms::QueryRequest req;
+    req.query = random_url(rng);  // queries are free text: same alphabet
+    req.id = rng.bernoulli(0.5) ? static_cast<std::uint32_t>(1 + rng.uniform_int(100000)) : 0;
+    if (req.id == 0 && first_token_all_digits(req.query)) continue;
+    req.lat = rng.uniform(-89.9999, 89.9999);
+    req.lon = rng.uniform(-179.9999, 179.9999);
+    const auto parsed = sms::parse_query(sms::encode_query(req));
+    ASSERT_TRUE(parsed.has_value()) << sms::encode_query(req);
+    EXPECT_EQ(parsed->query, req.query);
+    EXPECT_EQ(parsed->id, req.id);
+  }
+}
+
+TEST(WireProtocol, AckRoundTripsOverRandomizedUrls) {
+  Rng rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    sms::RequestAck ack;
+    ack.url = random_url(rng);
+    ack.id = rng.bernoulli(0.5) ? static_cast<std::uint32_t>(1 + rng.uniform_int(100000)) : 0;
+    if (ack.id == 0 && first_token_all_digits(ack.url)) continue;
+    ack.accepted = true;
+    ack.eta_s = std::round(rng.uniform(0.0, 9000.0));  // wire carries whole seconds
+    ack.frequency_mhz = std::round(rng.uniform(870.0, 1080.0)) / 10.0;  // and 0.1 MHz
+    const auto parsed = sms::parse_ack(sms::encode_ack(ack));
+    ASSERT_TRUE(parsed.has_value()) << sms::encode_ack(ack);
+    EXPECT_TRUE(parsed->accepted);
+    EXPECT_EQ(parsed->url, ack.url);
+    EXPECT_EQ(parsed->id, ack.id);
+    EXPECT_NEAR(parsed->eta_s, ack.eta_s, 0.5);
+    EXPECT_NEAR(parsed->frequency_mhz, ack.frequency_mhz, 0.05);
+  }
+}
+
+TEST(WireProtocol, NackRoundTripsOverRandomizedUrls) {
+  Rng rng(43);
+  for (int trial = 0; trial < 500; ++trial) {
+    sms::RequestAck nack;
+    nack.url = random_url(rng);
+    nack.id = rng.bernoulli(0.5) ? static_cast<std::uint32_t>(1 + rng.uniform_int(100000)) : 0;
+    if (nack.id == 0 && first_token_all_digits(nack.url)) continue;
+    // A URL ending in "... RETRY" plus a numeric reason would read as a
+    // shed; the reason grammar is single-token, so exclude that corner.
+    if (nack.url.find("RETRY") != std::string::npos) continue;
+    nack.accepted = false;
+    nack.reason = rng.bernoulli(0.5) ? "unknown-page" : "no-coverage";
+    const auto parsed = sms::parse_ack(sms::encode_ack(nack));
+    ASSERT_TRUE(parsed.has_value()) << sms::encode_ack(nack);
+    EXPECT_FALSE(parsed->accepted);
+    EXPECT_EQ(parsed->url, nack.url);
+    EXPECT_EQ(parsed->id, nack.id);
+    EXPECT_EQ(parsed->reason, nack.reason);
+    EXPECT_LT(parsed->retry_after_s, 0.0);
+  }
+}
+
+TEST(WireProtocol, ParsersRejectGarbageWithoutCrashing) {
+  Rng rng(47);
+  static const std::string chars = "SONICGETAKCKN @,.0123456789abcs FM ETA RETRY";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string body;
+    const std::size_t len = rng.uniform_int(80);
+    for (std::size_t i = 0; i < len; ++i) body += chars[rng.uniform_int(chars.size())];
+    // Must never crash; whatever parses must satisfy basic invariants.
+    if (const auto req = sms::parse_request(body)) EXPECT_FALSE(req->url.empty());
+    if (const auto ack = sms::parse_ack(body)) EXPECT_FALSE(ack->url.empty());
+    (void)sms::parse_query(body);
   }
 }
 

@@ -35,12 +35,119 @@ TEST(SmsGateway, OnlyDeliversToAddressee) {
   EXPECT_EQ(gw.in_flight(), 1u);
 }
 
-TEST(SmsGateway, LossRateDropsMessages) {
+TEST(SmsGateway, LossIsSilentSendAlwaysSucceeds) {
+  // The sender has no oracle: send() accepts everything, delivery fails
+  // silently inside the network.
   SmsGateway gw({1.0, 0.0, 0.5, 3});
-  int delivered = 0;
   const int n = 400;
-  for (int i = 0; i < n; ++i) delivered += gw.send({"a", "b", "x", 0, 0}, 0.0);
-  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.08);
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(gw.send({"a", "b", "x", 0, 0}, 0.0));
+  const auto delivered = gw.deliver_due("b", 1e9);
+  EXPECT_NEAR(static_cast<double>(delivered.size()) / n, 0.5, 0.08);
+  EXPECT_EQ(delivered.size() + gw.messages_lost(), static_cast<std::size_t>(n));
+  EXPECT_EQ(gw.messages_accepted(), static_cast<std::size_t>(n));
+}
+
+TEST(SmsGateway, TotalLossDeliversNothingButAcceptsEverything) {
+  SmsGateway gw({1.0, 0.0, 1.0, 4});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(gw.send({"a", "b", "x", 0, 0}, 0.0));
+  EXPECT_TRUE(gw.deliver_due("b", 1e9).empty());
+  EXPECT_EQ(gw.messages_lost(), 10u);
+  EXPECT_EQ(gw.in_flight(), 0u);
+}
+
+TEST(SmsGateway, DuplicationDeliversTheMessageTwice) {
+  SmsGatewayParams p{1.0, 0.0, 0.0, 5};
+  p.duplication_rate = 1.0;
+  SmsGateway gw(p);
+  gw.send({"a", "b", "dup me", 0, 0}, 0.0);
+  const auto due = gw.deliver_due("b", 1e9);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].body, "dup me");
+  EXPECT_EQ(due[1].body, "dup me");
+  EXPECT_EQ(gw.messages_duplicated(), 1u);
+}
+
+TEST(SmsGateway, ReorderingDelaysSomeMessagesPastLaterOnes) {
+  SmsGatewayParams p{4.0, 0.0, 0.0, 6};
+  p.reorder_rate = 0.5;
+  p.reorder_delay_s = 200.0;
+  SmsGateway gw(p);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    gw.send({"a", "b", "msg" + std::to_string(i), 0, 0}, static_cast<double>(i));
+  }
+  EXPECT_GT(gw.messages_reordered(), 0u);
+  // Some message sent earlier must now arrive after one sent later.
+  const auto due = gw.deliver_due("b", 1e9);
+  ASSERT_EQ(due.size(), static_cast<std::size_t>(n));
+  bool inverted = false;
+  for (std::size_t i = 1; i < due.size(); ++i) {
+    if (due[i].sent_at_s < due[i - 1].sent_at_s) inverted = true;
+  }
+  EXPECT_TRUE(inverted);
+}
+
+TEST(SmsGateway, MultipartBodiesAreSuperLinearlyFragile) {
+  // A 3-segment body survives only if all three segments do: at 30 %
+  // per-segment loss that is 0.7^3 ~ 34 %, far below a short body's 70 %.
+  SmsGatewayParams p{1.0, 0.0, 0.3, 7};
+  SmsGateway gw(p);
+  const int n = 400;
+  const std::string long_body(400, 'x');  // 3 segments
+  for (int i = 0; i < n; ++i) gw.send({"a", "long", long_body, 0, 0}, 0.0);
+  for (int i = 0; i < n; ++i) gw.send({"a", "short", "x", 0, 0}, 0.0);
+  const double long_ratio = static_cast<double>(gw.deliver_due("long", 1e9).size()) / n;
+  const double short_ratio = static_cast<double>(gw.deliver_due("short", 1e9).size()) / n;
+  EXPECT_NEAR(long_ratio, 0.343, 0.08);
+  EXPECT_NEAR(short_ratio, 0.7, 0.08);
+}
+
+TEST(SmsGateway, DeliveryReportsReachTheSender) {
+  SmsGatewayParams p{1.0, 0.0, 0.0, 8};
+  p.delivery_reports = true;
+  SmsGateway gw(p);
+  gw.send({"alice", "bob", "hello bob", 0, 0}, 0.0);
+  ASSERT_EQ(gw.deliver_due("bob", 100.0).size(), 1u);
+  EXPECT_EQ(gw.reports_generated(), 1u);
+  const auto reports = gw.deliver_due("alice", 1000.0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].from, std::string(kSmscNumber));
+  EXPECT_EQ(reports[0].body.rfind(kDeliveryReportPrefix, 0), 0u);
+  // Reports never beget reports.
+  EXPECT_TRUE(gw.deliver_due("SMSC", 1e6).empty());
+  EXPECT_EQ(gw.reports_generated(), 1u);
+}
+
+TEST(SmsGateway, FaultScheduleIsDeterministicPerSeed) {
+  SmsGatewayParams p{3.0, 2.0, 0.2, 9};
+  p.duplication_rate = 0.2;
+  p.reorder_rate = 0.3;
+  SmsGateway a(p), b(p);
+  for (int i = 0; i < 50; ++i) {
+    a.send({"u", "v", "m" + std::to_string(i), 0, 0}, static_cast<double>(i));
+    b.send({"u", "v", "m" + std::to_string(i), 0, 0}, static_cast<double>(i));
+  }
+  const auto da = a.deliver_due("v", 1e9);
+  const auto db = b.deliver_due("v", 1e9);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].body, db[i].body);
+    EXPECT_EQ(da[i].deliver_at_s, db[i].deliver_at_s);
+  }
+  EXPECT_EQ(a.messages_lost(), b.messages_lost());
+  EXPECT_EQ(a.messages_duplicated(), b.messages_duplicated());
+}
+
+TEST(SmsGateway, CopyConservationAfterFullDrain) {
+  SmsGatewayParams p{2.0, 1.0, 0.25, 10};
+  p.duplication_rate = 0.15;
+  SmsGateway gw(p);
+  const std::size_t n = 300;
+  for (std::size_t i = 0; i < n; ++i) gw.send({"a", "b", "x", 0, 0}, 0.0);
+  const auto delivered = gw.deliver_due("b", 1e9);
+  EXPECT_EQ(gw.in_flight(), 0u);
+  EXPECT_EQ(delivered.size(), n - gw.messages_lost() + gw.messages_duplicated());
+  EXPECT_EQ(gw.messages_delivered(), delivered.size());
 }
 
 TEST(SmsGateway, DeliveryOrderIsByDeliveryTime) {
