@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# AddressSanitizer run: the full test suite rebuilt with
+# Address+UndefinedBehaviorSanitizer run: the full test suite rebuilt with
 # cmake -DSONIC_ASAN=ON, to catch out-of-bounds reads/writes in the
 # hand-indexed byte-buffer paths (frame parsing, fountain GF(2^8)
-# elimination, WebP-ish codecs).
+# elimination, WebP-ish codecs) and UB in the receiver's signed/unsigned
+# index arithmetic (the fine-timing underflow class of bug).
 #
 #   scripts/asan.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== full test suite under AddressSanitizer =="
+echo "== full test suite under Address+UBSanitizer =="
 cmake -B build-asan -S . -DSONIC_ASAN=ON
-cmake --build build-asan -j "$JOBS" --target sonic_tests sonic_uplink_tests
+cmake --build build-asan -j "$JOBS" --target sonic_tests sonic_uplink_tests sonic_streaming_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "asan OK"

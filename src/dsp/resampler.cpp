@@ -26,29 +26,85 @@ double kernel(double x, double cutoff, double half_width) {
 
 Resampler::Resampler(double ratio) : ratio_(ratio) {
   if (ratio <= 0) throw std::invalid_argument("resample ratio must be positive");
+  // When downsampling, lower the kernel cutoff to avoid aliasing and widen
+  // the support so the stretched sinc still spans 4 zero-crossings.
+  cutoff_ = ratio_ >= 1.0 ? 1.0 : ratio_;
+  half_width_ = 4.0 / cutoff_;
+  reach_ = static_cast<long>(std::ceil(half_width_));
 }
 
 std::vector<float> Resampler::process(std::span<const float> input) const {
   if (input.empty()) return {};
   const std::size_t out_len = static_cast<std::size_t>(std::floor(static_cast<double>(input.size()) * ratio_));
   std::vector<float> out(out_len);
-  // When downsampling, lower the kernel cutoff to avoid aliasing and widen
-  // the support so the stretched sinc still spans 4 zero-crossings.
-  const double cutoff = ratio_ >= 1.0 ? 1.0 : ratio_;
-  const double half_width = 4.0 / cutoff;
-  const long reach = static_cast<long>(std::ceil(half_width));
   for (std::size_t i = 0; i < out_len; ++i) {
     const double src = static_cast<double>(i) / ratio_;
     const long center = static_cast<long>(std::floor(src));
     double acc = 0.0;
-    for (long k = center - reach; k <= center + reach; ++k) {
+    for (long k = center - reach_; k <= center + reach_; ++k) {
       if (k < 0 || k >= static_cast<long>(input.size())) continue;
       acc += static_cast<double>(input[static_cast<std::size_t>(k)]) *
-             kernel(src - static_cast<double>(k), cutoff, half_width);
+             kernel(src - static_cast<double>(k), cutoff_, half_width_);
     }
     out[i] = static_cast<float>(acc);
   }
   return out;
+}
+
+void Resampler::emit_ready(std::vector<float>& out, bool final_flush) {
+  const std::size_t out_total =
+      static_cast<std::size_t>(std::floor(static_cast<double>(total_in_) * ratio_));
+  for (;; ++next_out_) {
+    const double src = static_cast<double>(next_out_) / ratio_;
+    const long center = static_cast<long>(std::floor(src));
+    if (final_flush) {
+      if (next_out_ >= out_total) break;
+    } else {
+      // Hold this output until its whole kernel window has been received.
+      if (center + reach_ >= static_cast<long>(total_in_)) break;
+    }
+    double acc = 0.0;
+    for (long k = center - reach_; k <= center + reach_; ++k) {
+      if (k < 0 || k >= static_cast<long>(total_in_)) continue;
+      acc += static_cast<double>(hist_[static_cast<std::size_t>(k) - hist_base_]) *
+             kernel(src - static_cast<double>(k), cutoff_, half_width_);
+    }
+    out.push_back(static_cast<float>(acc));
+  }
+  // Evict history the next output can no longer reach.
+  const long keep_from =
+      static_cast<long>(std::floor(static_cast<double>(next_out_) / ratio_)) - reach_;
+  if (keep_from > static_cast<long>(hist_base_)) {
+    const std::size_t drop =
+        std::min(hist_.size(), static_cast<std::size_t>(keep_from) - hist_base_);
+    hist_.erase(hist_.begin(), hist_.begin() + static_cast<long>(drop));
+    hist_base_ += drop;
+  }
+}
+
+std::vector<float> Resampler::push(std::span<const float> chunk) {
+  if (flushed_) throw std::logic_error("Resampler::push after flush (call reset first)");
+  hist_.insert(hist_.end(), chunk.begin(), chunk.end());
+  total_in_ += chunk.size();
+  std::vector<float> out;
+  emit_ready(out, /*final_flush=*/false);
+  return out;
+}
+
+std::vector<float> Resampler::flush() {
+  if (flushed_) throw std::logic_error("Resampler::flush called twice (call reset first)");
+  flushed_ = true;
+  std::vector<float> out;
+  emit_ready(out, /*final_flush=*/true);
+  return out;
+}
+
+void Resampler::reset() {
+  hist_.clear();
+  hist_base_ = 0;
+  total_in_ = 0;
+  next_out_ = 0;
+  flushed_ = false;
 }
 
 std::vector<float> resample(std::span<const float> input, double in_rate, double out_rate) {

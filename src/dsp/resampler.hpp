@@ -4,6 +4,7 @@
 // receiver (speaker vs. microphone ADC clocks never match exactly).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -12,17 +13,54 @@ namespace sonic::dsp {
 // Windowed-sinc interpolation resampler (8-tap kernel per output sample).
 // Suitable both for large ratio changes (44.1k -> 192k) and for tiny clock
 // skews (ratio 1 + epsilon).
+//
+// Two modes:
+//  * batch: process(input) resamples one whole buffer (stateless, const).
+//  * streaming: push(chunk)* then flush() resamples an unbounded stream in
+//    chunks with bounded memory. Interpolation state — the sinc kernel's
+//    history window and the fractional output position — carries across
+//    push() calls, so concat(push(c1), push(c2), ..., flush()) is
+//    sample-identical to process(c1 + c2 + ...) for any chunking. push()
+//    withholds outputs whose kernel window still reaches past the samples
+//    received so far; flush() emits them treating the beyond-end region as
+//    silence, exactly like the batch path's edge handling.
 class Resampler {
  public:
   // ratio = output_rate / input_rate.
   explicit Resampler(double ratio);
 
+  // Batch: whole buffer in, floor(n * ratio) samples out.
   std::vector<float> process(std::span<const float> input) const;
 
+  // Streaming: feed one chunk, get every output sample that is now fully
+  // determined. History is bounded by the kernel reach, not the stream.
+  std::vector<float> push(std::span<const float> chunk);
+  // End of stream: the tail outputs the batch path would have produced.
+  // After flush(), reset() must be called before pushing again.
+  std::vector<float> flush();
+  // Forget all streaming state (a fresh stream follows).
+  void reset();
+
   double ratio() const { return ratio_; }
+  // Input samples currently held for the kernel window (streaming mode).
+  std::size_t history_size() const { return hist_.size(); }
 
  private:
+  // Emits out[next_out_...] while the kernel window is satisfied; with
+  // `final_flush` the stream is complete and end-of-input is silence.
+  void emit_ready(std::vector<float>& out, bool final_flush);
+
   double ratio_;
+  double cutoff_;
+  double half_width_;
+  long reach_;
+
+  // Streaming state: hist_[0] is absolute input index hist_base_.
+  std::vector<float> hist_;
+  std::size_t hist_base_ = 0;
+  std::size_t total_in_ = 0;
+  std::size_t next_out_ = 0;
+  bool flushed_ = false;
 };
 
 // Convenience wrappers.

@@ -2,28 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
-#include "dsp/biquad.hpp"
-#include "dsp/resampler.hpp"
 #include "util/units.hpp"
 
 namespace sonic::fm {
 
 AcousticChannel::AcousticChannel(AcousticParams params, sonic::util::Rng rng)
-    : params_(params), rng_(rng) {
-  if (params_.distance_m <= 0.0) {
-    trial_gain_db_ = 0.0;
-    return;
+    : params_(params), rng_(rng), tilt_(1.0, 0.0, 0.0, 0.0, 0.0) {
+  if (params_.clock_skew_ppm < 0.0) {
+    throw std::invalid_argument(
+        "AcousticParams::clock_skew_ppm must be >= 0 (it bounds the symmetric "
+        "per-trial skew draw)");
   }
-  const double d = params_.distance_m;
-  double gain = -20.0 * std::log10(std::max(d, params_.ref_distance_m) / params_.ref_distance_m);
-  if (d > params_.directivity_knee_m) {
-    gain -= (d - params_.directivity_knee_m) * params_.directivity_db_per_m;
+  if (!(params_.sample_rate_hz > 0.0)) {
+    throw std::invalid_argument("AcousticParams::sample_rate_hz must be positive");
   }
-  // Per-trial alignment: spread grows linearly with distance.
-  const double align_sigma = params_.align_sigma_db_at_1m * d;
-  gain += rng_.normal(0.0, align_sigma);
-  trial_gain_db_ = gain;
+
+  if (params_.distance_m > 0.0) {
+    const double d = params_.distance_m;
+    double gain = -20.0 * std::log10(std::max(d, params_.ref_distance_m) / params_.ref_distance_m);
+    if (d > params_.directivity_knee_m) {
+      gain -= (d - params_.directivity_knee_m) * params_.directivity_db_per_m;
+    }
+    // Per-trial alignment: spread grows linearly with distance.
+    const double align_sigma = params_.align_sigma_db_at_1m * d;
+    gain += rng_.normal(0.0, align_sigma);
+    trial_gain_db_ = gain;
+
+    // Slow fading: sinusoidal wobble with a random phase drawn once per
+    // trial, so chunked processing continues the same fade trajectory.
+    wobble_phase_ = rng_.uniform(0.0, sonic::util::kTwoPi);
+    if (params_.mic_band_tilt) {
+      // Gentle roll-off from ~12 kHz: cheap phone mics lose the top octave.
+      tilt_ = dsp::Biquad::lowpass(12000.0, params_.sample_rate_hz, 0.6);
+      tilt_on_ = true;
+    }
+  }
+
+  // Sample-clock skew between transmitter DAC and receiver ADC: one epsilon
+  // per trial, held by a streaming resampler so chunk boundaries don't
+  // re-draw the skew or reset the interpolation window.
+  if (params_.clock_skew_ppm > 0.0) {
+    const double eps = rng_.uniform(-params_.clock_skew_ppm, params_.clock_skew_ppm) * 1e-6;
+    skew_.emplace(1.0 + eps);
+  }
 }
 
 double AcousticChannel::trial_snr_db() const {
@@ -33,43 +56,47 @@ double AcousticChannel::trial_snr_db() const {
 
 std::vector<float> AcousticChannel::process(std::span<const float> audio) {
   std::vector<float> out(audio.begin(), audio.end());
-  double p_in = 0.0;
-  for (float s : out) p_in += static_cast<double>(s) * s;
-  p_in /= std::max<std::size_t>(out.size(), 1);
-  if (p_in <= 0.0) return out;
+  if (!noise_sigma_.has_value()) {
+    double p_in = 0.0;
+    for (float s : out) p_in += static_cast<double>(s) * s;
+    p_in /= std::max<std::size_t>(out.size(), 1);
+    // Silent lead-in: pass through untouched until the signal appears (and
+    // with it a power anchor for the ambient-noise level).
+    if (p_in <= 0.0) return out;
+    const double anchor_db =
+        params_.distance_m <= 0.0 ? params_.cable_snr_db : params_.ref_snr_db;
+    noise_sigma_ = std::sqrt(p_in / sonic::util::db_to_linear(anchor_db));
+  }
 
   if (params_.distance_m <= 0.0) {
     // Cable: tiny residual noise plus clock skew.
-    const double sigma = std::sqrt(p_in / sonic::util::db_to_linear(params_.cable_snr_db));
-    for (auto& s : out) s += static_cast<float>(rng_.normal(0.0, sigma));
+    for (auto& s : out) s += static_cast<float>(rng_.normal(0.0, *noise_sigma_));
   } else {
     const float g = static_cast<float>(sonic::util::db_to_amplitude(trial_gain_db_));
-    // Slow fading: sinusoidal wobble with random phase; depth grows with
-    // distance (hand-held phone, moving listener).
+    // Slow fading: depth grows with distance (hand-held phone, moving
+    // listener); the phase and running sample index persist across chunks.
     const double depth_db = params_.wobble_depth_db_at_1m * params_.distance_m;
-    const double wobble_phase = rng_.uniform(0.0, sonic::util::kTwoPi);
     const double w = sonic::util::kTwoPi * params_.wobble_rate_hz / params_.sample_rate_hz;
     for (std::size_t i = 0; i < out.size(); ++i) {
-      const double wob_db = -0.5 * depth_db * (1.0 + std::sin(w * static_cast<double>(i) + wobble_phase));
+      const double wob_db =
+          -0.5 * depth_db *
+          (1.0 + std::sin(w * static_cast<double>(wobble_index_ + i) + wobble_phase_));
       out[i] *= g * static_cast<float>(sonic::util::db_to_amplitude(wob_db));
     }
-    if (params_.mic_band_tilt) {
-      // Gentle roll-off from ~12 kHz: cheap phone mics lose the top octave.
-      auto tilt = dsp::Biquad::lowpass(12000.0, params_.sample_rate_hz, 0.6);
-      out = tilt.process(out);
-    }
+    wobble_index_ += out.size();
+    if (tilt_on_) out = tilt_.process(out);
     // Ambient noise anchored so SNR at the reference distance equals
     // ref_snr_db for a unit-gain trial.
-    const double sigma = std::sqrt(p_in / sonic::util::db_to_linear(params_.ref_snr_db));
-    for (auto& s : out) s += static_cast<float>(rng_.normal(0.0, sigma));
+    for (auto& s : out) s += static_cast<float>(rng_.normal(0.0, *noise_sigma_));
   }
 
-  // Sample-clock skew between transmitter DAC and receiver ADC.
-  if (params_.clock_skew_ppm > 0.0) {
-    const double eps = rng_.uniform(-params_.clock_skew_ppm, params_.clock_skew_ppm) * 1e-6;
-    out = dsp::Resampler(1.0 + eps).process(out);
-  }
+  if (skew_.has_value()) out = skew_->push(out);
   return out;
+}
+
+std::vector<float> AcousticChannel::finish() {
+  if (!skew_.has_value()) return {};
+  return skew_->flush();
 }
 
 }  // namespace sonic::fm

@@ -19,9 +19,12 @@
 // essentially transparent, matching the paper's 0% cable loss.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "dsp/biquad.hpp"
+#include "dsp/resampler.hpp"
 #include "util/rng.hpp"
 
 namespace sonic::fm {
@@ -44,11 +47,29 @@ struct AcousticParams {
   bool mic_band_tilt = true;        // gentle high-frequency roll-off
 };
 
+// One trial of the channel, streamable: all per-trial draws (alignment gain,
+// wobble phase, clock-skew epsilon) happen at construction, and the mic
+// band-tilt biquad, the skew resampler, and the wobble sample index live as
+// members — so feeding the audio in chunks is sample-identical to feeding it
+// whole, given the same first chunk. The ambient-noise level is anchored to
+// the signal power of the first non-silent chunk (for a single batch call
+// that is the whole buffer, the historical behaviour); later chunks reuse
+// that anchor instead of re-measuring, so quiet stretches in a long stream
+// don't modulate the noise floor.
+//
+// Throws std::invalid_argument when clock_skew_ppm is negative (it bounds a
+// symmetric per-trial draw; a negative bound silently disabled skew) or
+// sample_rate_hz is not positive.
 class AcousticChannel {
  public:
   AcousticChannel(AcousticParams params, sonic::util::Rng rng);
 
+  // Feed one chunk (or the whole buffer); returns the audible result. With
+  // clock skew enabled the output length trails the input by the skew
+  // resampler's kernel reach until finish().
   std::vector<float> process(std::span<const float> audio);
+  // End of stream: drains the skew resampler's tail (empty without skew).
+  std::vector<float> finish();
 
   // Mean channel gain for the current trial, dB (diagnostics/benches).
   double trial_gain_db() const { return trial_gain_db_; }
@@ -59,6 +80,12 @@ class AcousticChannel {
   AcousticParams params_;
   sonic::util::Rng rng_;
   double trial_gain_db_ = 0.0;
+  double wobble_phase_ = 0.0;
+  std::size_t wobble_index_ = 0;     // absolute sample position in the trial
+  std::optional<double> noise_sigma_;  // latched from the first audible chunk
+  dsp::Biquad tilt_;                 // identity when mic_band_tilt is off
+  bool tilt_on_ = false;
+  std::optional<dsp::Resampler> skew_;
 };
 
 }  // namespace sonic::fm

@@ -44,36 +44,67 @@ std::vector<cplx> FmModulator::modulate(std::span<const float> audio) const {
   return iq;
 }
 
-FmDemodulator::FmDemodulator(FmParams params) : params_(params) {}
+FmDemodulator::FmDemodulator(FmParams params)
+    : params_(params),
+      lp_(dsp::design_lowpass(params_.audio_lowpass_hz, params_.iq_rate_hz, 63)),
+      decim_(params_.audio_rate_hz / params_.iq_rate_hz),
+      de_emphasis_(params_.emphasis_tau_us > 0
+                       ? dsp::Biquad::fm_deemphasis(params_.emphasis_tau_us, params_.audio_rate_hz)
+                       : dsp::Biquad(1.0, 0.0, 0.0, 0.0, 0.0)),
+      de_emphasis_on_(params_.emphasis_tau_us > 0) {
+  if (de_emphasis_on_) {
+    de_mid_gain_ = de_emphasis_.magnitude_at(3000.0, params_.audio_rate_hz);
+  }
+}
 
-std::vector<float> FmDemodulator::demodulate(std::span<const cplx> iq) const {
+std::vector<float> FmDemodulator::postprocess(std::vector<float> audio) {
+  if (de_emphasis_on_) {
+    audio = de_emphasis_.process(audio);
+    for (auto& s : audio) s = static_cast<float>(s / de_mid_gain_);
+  }
+  return audio;
+}
+
+std::vector<float> FmDemodulator::demodulate(std::span<const cplx> iq) {
   // Quadrature discriminator: instantaneous frequency from the phase delta.
+  // The reference sample carries across calls; the very first sample of a
+  // stream has no predecessor, so its delta is dropped (zero frequency)
+  // rather than measured against an arbitrary phase.
   std::vector<float> freq(iq.size(), 0.0f);
   const double scale =
       params_.iq_rate_hz / (sonic::util::kTwoPi * params_.deviation_hz * params_.input_gain);
-  cplx prev(1.0f, 0.0f);
   for (std::size_t i = 0; i < iq.size(); ++i) {
     const cplx cur = iq[i];
-    const float dphi = std::arg(cur * std::conj(prev));
-    prev = cur;
-    freq[i] = static_cast<float>(dphi * scale);
+    if (have_prev_) {
+      const float dphi = std::arg(cur * std::conj(prev_));
+      freq[i] = static_cast<float>(dphi * scale);
+    } else {
+      have_prev_ = true;
+    }
+    prev_ = cur;
   }
-  // Band-limit at the IQ rate, then decimate to the audio rate.
-  dsp::FirFilter lp(dsp::design_lowpass(params_.audio_lowpass_hz, params_.iq_rate_hz, 63));
-  std::vector<float> filtered = lp.process(freq);
-  std::vector<float> audio = dsp::resample(filtered, params_.iq_rate_hz, params_.audio_rate_hz);
-  if (params_.emphasis_tau_us > 0) {
-    auto de = dsp::Biquad::fm_deemphasis(params_.emphasis_tau_us, params_.audio_rate_hz);
-    const double mid_gain = de.magnitude_at(3000.0, params_.audio_rate_hz);
-    audio = de.process(audio);
-    for (auto& s : audio) s = static_cast<float>(s / mid_gain);
-  }
-  return audio;
+  // Band-limit at the IQ rate, then decimate to the audio rate; both filters
+  // keep their state so chunk boundaries are seamless.
+  return postprocess(decim_.push(lp_.process(freq)));
+}
+
+std::vector<float> FmDemodulator::finish() { return postprocess(decim_.flush()); }
+
+void FmDemodulator::reset() {
+  prev_ = cplx(1.0f, 0.0f);
+  have_prev_ = false;
+  lp_.reset();
+  decim_.reset();
+  de_emphasis_.reset();
 }
 
 RfChannel::RfChannel(RfChannelParams params, sonic::util::Rng rng) : params_(params), rng_(rng) {}
 
 std::vector<cplx> RfChannel::process(std::span<const cplx> iq) {
+  // Empty spans would otherwise divide by zero below and seed the AWGN with
+  // a NaN noise power.
+  if (iq.empty()) return {};
+
   double p_sig = 0.0;
   for (const auto& s : iq) p_sig += std::norm(s);
   p_sig /= static_cast<double>(iq.size());

@@ -11,6 +11,9 @@
 #include <span>
 #include <vector>
 
+#include "dsp/biquad.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/resampler.hpp"
 #include "util/rng.hpp"
 
 namespace sonic::fm {
@@ -43,15 +46,36 @@ class FmModulator {
   FmParams params_;
 };
 
+// Streaming demodulator: discriminator phase history, the post-detection
+// low-pass, the decimator, and the de-emphasis network are all members, so
+// feeding the IQ stream in chunks produces exactly the same audio as one
+// batch call — concat(demodulate(c1), demodulate(c2), ..., finish()) ==
+// demodulate(c1 + c2 + ...) + finish() for any chunking. The first sample
+// after construction/reset() produces zero instantaneous frequency instead
+// of a spurious phase impulse against an arbitrary reference.
 class FmDemodulator {
  public:
   explicit FmDemodulator(FmParams params = {});
-  // IQ at iq_rate -> audio at audio_rate.
-  std::vector<float> demodulate(std::span<const cplx> iq) const;
+  // IQ at iq_rate -> audio at audio_rate; every output sample that the
+  // decimator can already fully determine. Carries state across calls.
+  std::vector<float> demodulate(std::span<const cplx> iq);
+  // End of stream: drains the decimator tail (a handful of samples).
+  std::vector<float> finish();
+  // Forget all stream state; the next sample starts a fresh stream.
+  void reset();
   const FmParams& params() const { return params_; }
 
  private:
+  std::vector<float> postprocess(std::vector<float> freq);
+
   FmParams params_;
+  cplx prev_{1.0f, 0.0f};
+  bool have_prev_ = false;
+  dsp::FirFilter lp_;
+  dsp::Resampler decim_;
+  dsp::Biquad de_emphasis_;  // identity when emphasis_tau_us == 0
+  bool de_emphasis_on_ = false;
+  double de_mid_gain_ = 1.0;
 };
 
 // RF propagation: maps an RSSI reading to carrier-to-noise ratio and applies

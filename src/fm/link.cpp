@@ -17,12 +17,16 @@ std::vector<float> FmLink::transmit(std::span<const float> audio) {
     const auto iq_tx = mod.modulate(audio);
     const auto iq_rx = rf.process(iq_tx);
     radio_audio = demod.demodulate(iq_rx);
+    const auto tail = demod.finish();
+    radio_audio.insert(radio_audio.end(), tail.begin(), tail.end());
   } else {
     radio_audio.assign(audio.begin(), audio.end());
   }
 
   AcousticChannel air(config_.acoustic, rng_.fork(2));
   auto out = air.process(radio_audio);
+  const auto air_tail = air.finish();
+  out.insert(out.end(), air_tail.begin(), air_tail.end());
   last_acoustic_snr_db_ = air.trial_snr_db();
   // Advance the seed so repeated transmits see fresh channel draws.
   rng_ = rng_.fork(3);

@@ -270,7 +270,10 @@ std::optional<OfdmModem::Sync> OfdmModem::find_sync(std::span<const float> sampl
   long best_b_start = -1;
   for (long cand = search_lo; cand <= search_hi; ++cand) {
     const long b_start = cand + static_cast<long>(sym);
-    if (b_start < 0) continue;
+    // The burst start is b_start - sym; candidates with b_start < sym would
+    // underflow size_t into a huge offset when the coarse peak sits within
+    // 2*cp_len of the buffer start (e.g. a stream cut mid-preamble).
+    if (b_start < static_cast<long>(sym)) continue;
     if (static_cast<std::size_t>(b_start) + template_b_.size() > samples.size()) break;
     double dot = 0, energy = 0;
     for (std::size_t i = 0; i < template_b_.size(); ++i) {
@@ -288,17 +291,26 @@ std::optional<OfdmModem::Sync> OfdmModem::find_sync(std::span<const float> sampl
   return Sync{static_cast<std::size_t>(best_b_start) - sym, static_cast<float>(best_ncc)};
 }
 
+std::size_t OfdmModem::min_decode_samples() const {
+  return (2 + header_symbols()) * static_cast<std::size_t>(symbol_len()) +
+         static_cast<std::size_t>(profile_.fft_size);
+}
+
 std::optional<RxBurst> OfdmModem::receive_one(std::span<const float> samples, std::size_t from) const {
   const auto sync = find_sync(samples, from);
   if (!sync) return std::nullopt;
+  return decode_burst(samples, sync->start, sync->quality);
+}
 
+std::optional<RxBurst> OfdmModem::decode_burst(std::span<const float> samples, std::size_t start,
+                                               float sync_ncc) const {
   const std::size_t sym = static_cast<std::size_t>(symbol_len());
   const std::size_t cp = static_cast<std::size_t>(profile_.cp_len);
   const int n = profile_.num_subcarriers;
   // Sample the FFT window slightly inside the CP to tolerate timing error.
   const std::size_t cp_backoff = std::min<std::size_t>(cp / 4, 8);
   auto body = [&](std::size_t symbol_index) {
-    return sync->start + symbol_index * sym + cp - cp_backoff;
+    return start + symbol_index * sym + cp - cp_backoff;
   };
   // Compensate the intentional early sampling: rotate bin k by
   // exp(+j*2*pi*k*backoff/N) after FFT (applied via the channel estimate,
@@ -439,8 +451,11 @@ std::optional<RxBurst> OfdmModem::receive_one(std::span<const float> samples, st
   }
 
   RxBurst burst;
-  burst.start_sample = sync->start;
-  burst.end_sample = std::min(samples.size(), sync->start + (2 + hdr_syms + nsym + 1) * sym);
+  burst.start_sample = start;
+  burst.needed_end = start + (2 + hdr_syms + nsym + 1) * sym;
+  burst.end_sample = std::min(samples.size(), burst.needed_end);
+  burst.truncated = burst.needed_end > samples.size();
+  burst.sync_ncc = sync_ncc;
   burst.snr_db = static_cast<float>(-10.0 * std::log10(std::max(static_cast<double>(ema_noise), 1e-9)));
   const std::size_t bits_per_frame = payload_codec_.encoded_bits(frame_len);
   for (std::size_t f = 0; f < frame_count; ++f) {

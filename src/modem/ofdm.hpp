@@ -37,6 +37,14 @@ struct RxBurst {
   std::size_t start_sample = 0;  // first sample of the burst in the input
   std::size_t end_sample = 0;    // one past the last sample consumed
   float snr_db = 0.0f;           // pilot-based post-equalization SNR
+  float sync_ncc = 0.0f;         // fine-timing normalized cross-correlation
+  // One past the last sample of the complete burst (preambles + header +
+  // payload + gap), NOT capped by the input length — when this exceeds the
+  // provided samples the demod windows ran off the end and `truncated` is
+  // set (missing symbols decode as erasures). StreamReceiver uses it to know
+  // how much audio a full decode needs.
+  std::size_t needed_end = 0;
+  bool truncated = false;
 
   std::size_t frames_ok() const;
   double frame_loss_rate() const;
@@ -57,10 +65,23 @@ class OfdmModem {
   // Decodes every burst in the stream.
   std::vector<RxBurst> receive_all(std::span<const float> samples) const;
 
+  // Decodes the burst whose preamble-A cyclic prefix starts at `start`
+  // (timing already established, e.g. by StreamReceiver's incremental
+  // sync). Returns nullopt when the header is undecodable. `sync_ncc` is
+  // recorded into the burst for observability.
+  std::optional<RxBurst> decode_burst(std::span<const float> samples, std::size_t start,
+                                      float sync_ncc = 1.0f) const;
+
+  // Samples needed past a burst's start to decode its header and learn the
+  // burst's full length (preambles + header symbols + one FFT window).
+  std::size_t min_decode_samples() const;
+
   // Samples occupied by a burst of `frame_count` frames of `frame_len` bytes.
   std::size_t burst_samples(std::size_t frame_len, std::size_t frame_count) const;
 
  private:
+  friend class StreamReceiver;  // reuses the sync templates and profile
+
   struct Sync {
     std::size_t start;   // first sample of preamble A's cyclic prefix
     float quality;       // normalized correlation in [0,1]

@@ -1,0 +1,274 @@
+#include "modem/stream_receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sonic::modem {
+
+StreamReceiver::StreamReceiver(const OfdmModem& modem, StreamReceiverParams params)
+    : modem_(modem),
+      params_(params),
+      sym_(static_cast<std::size_t>(modem.profile().fft_size + modem.profile().cp_len)),
+      fft_(static_cast<std::size_t>(modem.profile().fft_size)),
+      half_(static_cast<std::size_t>(modem.profile().fft_size / 2)),
+      cp_(static_cast<std::size_t>(modem.profile().cp_len)) {
+  if (params_.max_buffer_samples < 2 * modem_.min_decode_samples()) {
+    throw std::invalid_argument(
+        "StreamReceiverParams::max_buffer_samples must be at least 2x "
+        "OfdmModem::min_decode_samples() or no burst header could ever decode");
+  }
+  for (float v : modem_.template_b_) tmpl_energy_ += static_cast<double>(v) * v;
+}
+
+void StreamReceiver::count(const char* name, std::uint64_t n) {
+  if (params_.metrics != nullptr) params_.metrics->counter(name).add(n);
+}
+
+void StreamReceiver::restart_scan(std::size_t from) {
+  scan_from_ = std::min(from, total_);
+  seeded_ = false;
+  p_ = r_ = 0.0;
+  d_ = scan_from_;
+  in_plateau_ = false;
+  best_metric_ = 0.0;
+  best_d_ = 0;
+  plateau_end_guard_ = 0;
+  coarse_ready_ = false;
+  have_sync_ = false;
+  pending_needed_ = 0;
+}
+
+// Mirrors OfdmModem::find_sync's coarse loop, one metric position at a time,
+// pausing wherever the buffered audio runs out and resuming when more
+// arrives. The running sums p_/r_ are slid with exactly the batch path's
+// arithmetic, so the plateau and its best position match bit for bit.
+StreamReceiver::Step StreamReceiver::scan(bool final_flush) {
+  if (!seeded_) {
+    // receive_all's loop guard: it stops scanning when fewer than three
+    // symbols remain past pos, so the streaming path must too or flush()
+    // could emit a tail burst the batch path never looks for.
+    if (total_ <= scan_from_ + 3 * sym_) return final_flush ? Step::kDone : Step::kStall;
+    p_ = r_ = 0.0;
+    for (std::size_t m = 0; m < half_; ++m) {
+      const std::size_t i = scan_from_ + m;
+      p_ += static_cast<double>(at(i)) * at(i + half_);
+      r_ += static_cast<double>(at(i + half_)) * at(i + half_);
+    }
+    d_ = scan_from_;
+    seeded_ = true;
+  }
+
+  while (d_ + fft_ + sym_ < total_) {
+    const double metric = r_ > 1e-9 ? (p_ * p_) / (r_ * r_) : 0.0;
+    if (metric > 0.5) {
+      if (!in_plateau_) {
+        in_plateau_ = true;
+        best_metric_ = 0.0;
+      }
+      if (metric > best_metric_) {
+        best_metric_ = metric;
+        best_d_ = d_;
+      }
+      plateau_end_guard_ = 0;
+    } else if (in_plateau_) {
+      // Allow brief dips; end the plateau after cp_len consecutive lows.
+      if (++plateau_end_guard_ > cp_) {
+        coarse_ready_ = true;
+        return Step::kProgress;
+      }
+    }
+    p_ += static_cast<double>(at(d_ + half_)) * at(d_ + fft_) -
+          static_cast<double>(at(d_)) * at(d_ + half_);
+    r_ += static_cast<double>(at(d_ + fft_)) * at(d_ + fft_) -
+          static_cast<double>(at(d_ + half_)) * at(d_ + half_);
+    ++d_;
+  }
+
+  if (!final_flush) return Step::kStall;
+  // End of stream: a plateau still open when the scan range runs out is
+  // promoted to the coarse estimate, exactly as the batch loop falls
+  // through to fine timing.
+  if (in_plateau_) {
+    coarse_ready_ = true;
+    return Step::kProgress;
+  }
+  return Step::kDone;
+}
+
+// Mirrors OfdmModem::find_sync's fine-timing pass: normalized cross-
+// correlation with the preamble-B template around the coarse peak.
+StreamReceiver::Step StreamReceiver::fine_sync(bool final_flush) {
+  const long lo = static_cast<long>(best_d_) - 2L * static_cast<long>(cp_);
+  const long hi = static_cast<long>(best_d_) + 2L * static_cast<long>(cp_);
+  const std::size_t tmpl_len = modem_.template_b_.size();
+  if (!final_flush &&
+      total_ < static_cast<std::size_t>(hi) + sym_ + tmpl_len) {
+    return Step::kStall;  // evaluate the full candidate range, like batch
+  }
+  count("rx_sync_attempts");
+
+  double best_ncc = 0.0;
+  long best_b_start = -1;
+  for (long cand = lo; cand <= hi; ++cand) {
+    const long b_start = cand + static_cast<long>(sym_);
+    if (b_start < static_cast<long>(sym_)) continue;  // burst start would underflow
+    if (static_cast<std::size_t>(b_start) + tmpl_len > total_) break;
+    double dot = 0.0, energy = 0.0;
+    for (std::size_t i = 0; i < tmpl_len; ++i) {
+      const double s = at(static_cast<std::size_t>(b_start) + i);
+      dot += s * modem_.template_b_[i];
+      energy += s * s;
+    }
+    const double ncc = energy > 1e-12 ? std::fabs(dot) / std::sqrt(energy * tmpl_energy_) : 0.0;
+    if (ncc > best_ncc) {
+      best_ncc = ncc;
+      best_b_start = b_start;
+    }
+  }
+  if (best_b_start < 0 || best_ncc < 0.2) {
+    // Resync: skip one symbol past the coarse peak so the same plateau is
+    // not rediscovered, and keep listening for the next preamble.
+    count("rx_resyncs");
+    restart_scan(best_d_ + sym_);
+    return Step::kProgress;
+  }
+  count("rx_sync_hits");
+  sync_start_ = static_cast<std::size_t>(best_b_start) - sym_;
+  sync_ncc_ = static_cast<float>(best_ncc);
+  have_sync_ = true;
+  coarse_ready_ = false;
+  pending_needed_ = 0;
+  return Step::kProgress;
+}
+
+StreamReceiver::Step StreamReceiver::decode(std::vector<RxBurst>& out, bool final_flush) {
+  if (!final_flush) {
+    // Header first (to learn the burst length), then the whole burst.
+    if (pending_needed_ == 0 && total_ < sync_start_ + modem_.min_decode_samples()) {
+      return Step::kStall;
+    }
+    if (pending_needed_ > 0 && total_ < pending_needed_) return Step::kStall;
+  }
+
+  const std::span<const float> window(buf_.data() + (sync_start_ - base_),
+                                      buf_.size() - (sync_start_ - base_));
+  auto burst = modem_.decode_burst(window, 0, sync_ncc_);
+  if (!burst.has_value()) {
+    count("rx_resyncs");
+    restart_scan(sync_start_ + sym_);
+    return Step::kProgress;
+  }
+  if (burst->truncated && !final_flush) {
+    pending_needed_ = sync_start_ + burst->needed_end;
+    if (total_ < pending_needed_) return Step::kStall;
+  }
+
+  burst->start_sample += sync_start_;
+  burst->end_sample += sync_start_;
+  burst->needed_end += sync_start_;
+  count("rx_bursts");
+  if (burst->truncated) count("rx_bursts_truncated");
+  count("rx_frames_ok", burst->frames_ok());
+  count("rx_frames_lost", burst->frames.size() - burst->frames_ok());
+  if (params_.metrics != nullptr) {
+    params_.metrics->histogram("rx_burst_ncc").observe(burst->sync_ncc);
+    params_.metrics->histogram("rx_burst_snr_db").observe(burst->snr_db);
+    params_.metrics->histogram("rx_buffered_at_burst").observe(static_cast<double>(buf_.size()));
+  }
+  const std::size_t resume = std::max(burst->end_sample, scan_from_ + 1);
+  out.push_back(std::move(*burst));
+  restart_scan(resume);
+  return Step::kProgress;
+}
+
+void StreamReceiver::evict() {
+  std::size_t keep;
+  if (have_sync_) {
+    keep = sync_start_;
+  } else if (in_plateau_ || coarse_ready_) {
+    // Fine sync may still probe 2*cp_len before the coarse peak.
+    keep = best_d_ > 2 * cp_ ? best_d_ - 2 * cp_ : 0;
+  } else if (seeded_) {
+    keep = d_ > 2 * cp_ ? d_ - 2 * cp_ : 0;
+  } else {
+    keep = scan_from_;
+  }
+  keep = std::min(keep, total_);
+  if (keep > base_) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(keep - base_));
+    base_ = keep;
+  }
+}
+
+void StreamReceiver::enforce_cap(std::vector<RxBurst>& out) {
+  if (buf_.size() <= params_.max_buffer_samples) return;
+  if (have_sync_) {
+    // A burst larger than the cap: decode what fits now — the missing tail
+    // becomes frame erasures — instead of buffering without bound.
+    count("rx_forced_decodes");
+    const Step step = decode(out, /*final_flush=*/true);
+    (void)step;
+    evict();
+  }
+  if (buf_.size() > params_.max_buffer_samples) {
+    // Still over (e.g. one push far larger than the cap while scanning):
+    // drop the oldest audio and restart the scan at what remains.
+    const std::size_t drop = buf_.size() - params_.max_buffer_samples;
+    count("rx_samples_dropped", drop);
+    base_ += drop;
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(drop));
+    restart_scan(base_);
+  }
+}
+
+void StreamReceiver::advance(std::vector<RxBurst>& out, bool final_flush) {
+  for (;;) {
+    Step step;
+    if (have_sync_) {
+      step = decode(out, final_flush);
+    } else if (coarse_ready_) {
+      step = fine_sync(final_flush);
+    } else {
+      step = scan(final_flush);
+    }
+    evict();
+    if (step != Step::kProgress) return;
+  }
+}
+
+std::vector<RxBurst> StreamReceiver::push(std::span<const float> chunk) {
+  if (flushed_) throw std::logic_error("StreamReceiver::push after flush (call reset first)");
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  total_ += chunk.size();
+  count("rx_chunks");
+  count("rx_samples", chunk.size());
+
+  std::vector<RxBurst> out;
+  advance(out, /*final_flush=*/false);
+  enforce_cap(out);
+  high_water_ = std::max(high_water_, buf_.size());
+  return out;
+}
+
+std::vector<RxBurst> StreamReceiver::flush() {
+  if (flushed_) throw std::logic_error("StreamReceiver::flush called twice (call reset first)");
+  flushed_ = true;
+  std::vector<RxBurst> out;
+  advance(out, /*final_flush=*/true);
+  if (params_.metrics != nullptr) {
+    params_.metrics->histogram("rx_buffered_high_water").observe(static_cast<double>(high_water_));
+  }
+  return out;
+}
+
+void StreamReceiver::reset() {
+  buf_.clear();
+  base_ = 0;
+  total_ = 0;
+  high_water_ = 0;
+  flushed_ = false;
+  restart_scan(0);
+}
+
+}  // namespace sonic::modem

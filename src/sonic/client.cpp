@@ -41,6 +41,10 @@ std::vector<std::string> SonicClient::Params::validate() const {
   if (uplink.jitter_frac < 0.0 || uplink.jitter_frac >= 1.0) {
     errors.push_back("uplink.jitter_frac must be in [0, 1)");
   }
+  if (!modem::profiles::get(downlink_profile)) {
+    errors.push_back("downlink_profile '" + downlink_profile +
+                     "' is not a registered OFDM profile");
+  }
   return errors;
 }
 
@@ -110,6 +114,32 @@ void SonicClient::on_burst(const modem::RxBurst& burst) {
   for (const auto& frame : burst.frames) {
     if (frame.has_value()) on_frame(*frame);
   }
+}
+
+modem::StreamReceiver& SonicClient::stream_rx() {
+  if (!stream_rx_) {
+    // validate() established the profile exists.
+    const auto profile = modem::profiles::get(params_.downlink_profile);
+    downlink_modem_ = std::make_unique<modem::OfdmModem>(*profile);
+    modem::StreamReceiverParams rx;
+    rx.max_buffer_samples = params_.downlink_buffer_samples;
+    rx.metrics = metrics_.get();
+    stream_rx_ = std::make_unique<modem::StreamReceiver>(*downlink_modem_, rx);
+  }
+  return *stream_rx_;
+}
+
+std::size_t SonicClient::on_audio(std::span<const float> chunk) {
+  const auto bursts = stream_rx().push(chunk);
+  for (const auto& b : bursts) on_burst(b);
+  return bursts.size();
+}
+
+std::size_t SonicClient::end_audio() {
+  const auto bursts = stream_rx().flush();
+  for (const auto& b : bursts) on_burst(b);
+  stream_rx_->reset();
+  return bursts.size();
 }
 
 std::vector<std::string> SonicClient::flush(double now_s) {

@@ -29,6 +29,7 @@
 #include "fec/fountain.hpp"
 #include "image/interpolate.hpp"
 #include "modem/ofdm.hpp"
+#include "modem/stream_receiver.hpp"
 #include "sms/sms.hpp"
 #include "sonic/cache.hpp"
 #include "sonic/framing.hpp"
@@ -70,6 +71,11 @@ class SonicClient {
     fec::FountainParams fountain;
     // Uplink retry/backoff state machine (ignored for downlink-only users).
     UplinkPolicy uplink;
+    // Streaming downlink (on_audio): the OFDM profile the tuner audio was
+    // modulated with, and the receive-buffer cap handed to StreamReceiver —
+    // must be at least 2x the profile's min_decode_samples().
+    std::string downlink_profile = "sonic-10k";
+    std::size_t downlink_buffer_samples = std::size_t{1} << 21;
 
     // Descriptive configuration errors; empty when sane. The constructor
     // calls this and throws std::invalid_argument on nonsense (zero-width
@@ -92,6 +98,18 @@ class SonicClient {
 
   // Feed a whole modem burst (nullopt slots = frames lost to FEC/CRC).
   void on_burst(const modem::RxBurst& burst);
+
+  // Feed raw tuner audio in arbitrary-sized chunks: the streaming receiver
+  // (profile params_.downlink_profile, created on first use, recording into
+  // this client's Metrics registry) completes bursts as enough audio arrives
+  // and routes their frames through on_burst(). Returns the number of
+  // bursts this chunk completed.
+  std::size_t on_audio(std::span<const float> chunk);
+
+  // End of the tuner stream: resolves any burst still pending (its missing
+  // tail decodes as erasures) and rewinds, so the next on_audio() starts a
+  // fresh stream. Call flush(now_s) afterwards to cache the pages.
+  std::size_t end_audio();
 
   // Moves every fully- or partially-received page into the cache (called
   // when a broadcast window ends). Returns the URLs cached.
@@ -187,9 +205,14 @@ class SonicClient {
   // conflicting k was already established.
   fec::FountainDecoder* decoder_for(std::uint32_t page_id, std::uint16_t k);
 
+  // The streaming downlink receiver, created by the first on_audio() call.
+  modem::StreamReceiver& stream_rx();
+
   sms::SmsGateway* gateway_;
   Params params_;
   std::unique_ptr<Metrics> metrics_;  // stable address; makes the client move-only
+  std::unique_ptr<modem::OfdmModem> downlink_modem_;
+  std::unique_ptr<modem::StreamReceiver> stream_rx_;
   PageAssembler assembler_;
   PageCache cache_;
   std::map<std::uint32_t, fec::FountainDecoder> decoders_;

@@ -1,4 +1,4 @@
-#include "sonic/metrics.hpp"
+#include "util/metrics.hpp"
 
 #include <algorithm>
 #include <cstdio>

@@ -380,6 +380,43 @@ TEST(Ofdm, ReceiveAllFindsMultipleBursts) {
   }
 }
 
+TEST(Ofdm, PreambleAtOffsetZeroDecodes) {
+  // No leading silence at all: the burst begins at sample 0, so the fine
+  // timing search ranges over negative candidates.
+  OfdmModem modem(*profiles::get("sonic-10k"));
+  Rng rng(16);
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 3; ++i) frames.push_back(random_bytes(rng, 80));
+  auto samples = modem.modulate(frames);
+  samples.insert(samples.end(), 3000, 0.0f);
+  const auto burst = modem.receive_one(samples);
+  ASSERT_TRUE(burst.has_value());
+  EXPECT_EQ(burst->start_sample, 0u);
+  EXPECT_EQ(burst->frames_ok(), frames.size());
+}
+
+TEST(Ofdm, TruncatedLeadingPrefixDoesNotUnderflowBurstStart) {
+  // Regression: a stream cut a few samples into preamble A's cyclic prefix
+  // puts the true burst start before sample 0. The fine-timing candidate for
+  // that position used to compute start = b_start - sym with b_start < sym,
+  // wrapping size_t to ~2^64 and decoding a burst with a garbage
+  // start_sample. Such candidates are now clamped out, and the closest legal
+  // alignment (a few samples late, inside the CP backoff) decodes instead.
+  OfdmModem modem(*profiles::get("sonic-10k"));
+  Rng rng(17);
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 3; ++i) frames.push_back(random_bytes(rng, 80));
+  auto samples = modem.modulate(frames);
+  samples.insert(samples.end(), 3000, 0.0f);
+  const auto chopped = std::span(samples).subspan(5);
+  const auto burst = modem.receive_one(chopped);
+  if (burst.has_value()) {
+    EXPECT_LE(burst->start_sample, chopped.size());
+    EXPECT_LE(burst->end_sample, chopped.size());
+    EXPECT_EQ(burst->frames_ok(), frames.size());
+  }
+}
+
 TEST(Ofdm, SilenceYieldsNothing) {
   OfdmModem modem(*profiles::get("sonic-10k"));
   std::vector<float> silence(50000, 0.0f);
