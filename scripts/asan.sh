@@ -12,7 +12,8 @@ JOBS="${1:-$(nproc)}"
 
 echo "== full test suite under Address+UBSanitizer =="
 cmake -B build-asan -S . -DSONIC_ASAN=ON
-cmake --build build-asan -j "$JOBS" --target sonic_tests sonic_uplink_tests sonic_streaming_tests
+cmake --build build-asan -j "$JOBS" \
+  --target sonic_tests sonic_uplink_tests sonic_streaming_tests sonic_kernel_tests
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "asan OK"

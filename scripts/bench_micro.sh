@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Perf-regression harness: Release-build bench/micro_dsp_fec and run its
+# --micro mode, which times every optimized kernel against its kept
+# reference implementation and records the results.
+#
+#   scripts/bench_micro.sh [--native] [jobs]
+#
+# Writes BENCH_MICRO.json at the repo root (kernel -> before/after ns per
+# op, speedup, items/s) and echoes the BENCH_MICRO lines. --native adds
+# -DSONIC_NATIVE=ON (-march=native) for numbers tuned to the build host;
+# the default build is portable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NATIVE=OFF
+if [[ "${1:-}" == "--native" ]]; then
+  NATIVE=ON
+  shift
+fi
+JOBS="${1:-$(nproc)}"
+
+echo "== bench-micro: Release build (SONIC_NATIVE=${NATIVE}) =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release -DSONIC_NATIVE="${NATIVE}"
+cmake --build build-bench -j "${JOBS}" --target micro_dsp_fec
+
+echo "== bench-micro: before/after kernel timings =="
+./build-bench/bench/micro_dsp_fec --micro --json BENCH_MICRO.json
+
+echo "== bench-micro: wrote BENCH_MICRO.json =="

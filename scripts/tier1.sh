@@ -14,10 +14,11 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tier-1: pipeline + uplink + streaming tests under ThreadSanitizer =="
+echo "== tier-1: pipeline + uplink + streaming + kernel tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DSONIC_TSAN=ON
-cmake --build build-tsan -j "$JOBS" --target sonic_tests sonic_uplink_tests sonic_streaming_tests
+cmake --build build-tsan -j "$JOBS" \
+  --target sonic_tests sonic_uplink_tests sonic_streaming_tests sonic_kernel_tests
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'Pipeline|Metrics|ServerShards|Scheduler\.|Fountain|Carousel|Uplink|StreamReceiver|Streaming'
+  -R 'Pipeline|Metrics|ServerShards|Scheduler\.|Fountain|Carousel|Uplink|StreamReceiver|Streaming|FftPlan.CacheReturnsSharedInstance'
 
 echo "tier-1 OK"

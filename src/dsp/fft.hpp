@@ -1,8 +1,29 @@
 // Radix-2 iterative FFT. The OFDM modem uses power-of-two transforms
 // (1024-point at 44.1 kHz), so a dependency-free radix-2 kernel suffices.
+//
+// Two entry points:
+//
+//  * FftPlan — precomputed bit-reversal and twiddle tables for one size,
+//    with in-place forward/inverse on caller-provided scratch. Plans are
+//    immutable after construction and safe to share across threads;
+//    FftPlan::get(n) hands out cached plans from a thread-safe registry so
+//    the steady-state symbol path never recomputes tables. Twiddles are
+//    evaluated per-element in double precision (no recurrence), so accuracy
+//    does not drift with transform size.
+//
+//  * fft()/ifft() — convenience wrappers over the cached plan, keeping the
+//    original one-shot API.
+//
+// The pre-plan kernel (per-call twiddle recurrence) is kept as
+// fft_recurrence()/ifft_recurrence(): it is the before-case of
+// bench/micro_dsp_fec and the accuracy foil of the kernel-equivalence tests
+// (the recurrence accumulates O(N) ulps of twiddle error and fails a tight
+// tolerance against dft_naive at N=4096; the table-driven plan passes).
 #pragma once
 
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -10,13 +31,43 @@ namespace sonic::dsp {
 
 using cplx = std::complex<float>;
 
-// In-place forward FFT; data.size() must be a power of two.
+class FftPlan {
+ public:
+  // Builds tables for size n (power of two).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // In-place transform of data (data.size() must equal size()).
+  void forward(std::span<cplx> data) const;
+  // In-place inverse, including the 1/N normalization.
+  void inverse(std::span<cplx> data) const;
+
+  // Cached plan for size n; thread-safe, one plan per size per process.
+  static std::shared_ptr<const FftPlan> get(std::size_t n);
+
+ private:
+  void run(std::span<cplx> data, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> bitrev_;  // bit-reversed index of each position
+  std::vector<cplx> twiddle_;          // exp(-2*pi*i*k/n), k in [0, n/2)
+};
+
+// In-place forward FFT via the cached plan; data.size() must be a power of
+// two.
 void fft(std::span<cplx> data);
 
 // In-place inverse FFT, including the 1/N normalization.
 void ifft(std::span<cplx> data);
 
-// Naive O(N^2) DFT, used by tests as the ground truth.
+// Legacy per-call twiddle-recurrence kernel, kept as the reference/before
+// implementation for equivalence tests and benchmarks.
+void fft_recurrence(std::span<cplx> data);
+void ifft_recurrence(std::span<cplx> data);
+
+// Naive O(N^2) DFT with double-precision accumulation, used by tests as the
+// ground truth.
 std::vector<cplx> dft_naive(std::span<const cplx> data);
 
 bool is_power_of_two(std::size_t n);

@@ -62,30 +62,70 @@ std::vector<float> design_bandpass(double lo_hz, double hi_hz, double sample_rat
   return h;
 }
 
-FirFilter::FirFilter(std::vector<float> taps) : taps_(std::move(taps)), history_(taps_.size(), 0.0f) {
-  if (taps_.empty()) throw std::invalid_argument("empty taps");
-}
+namespace {
 
-void FirFilter::reset() {
-  std::fill(history_.begin(), history_.end(), 0.0f);
-  pos_ = 0;
-}
-
-float FirFilter::process(float x) {
-  history_[pos_] = x;
+// Dot product of two contiguous arrays; the one inner loop every FIR path
+// funnels through, so every path sums in the same order.
+float fir_dot(const float* window, const float* taps_rev, std::size_t n) {
   float acc = 0.0f;
-  std::size_t idx = pos_;
-  for (float tap : taps_) {
-    acc += tap * history_[idx];
-    idx = idx == 0 ? history_.size() - 1 : idx - 1;
-  }
-  pos_ = (pos_ + 1) % history_.size();
+  for (std::size_t i = 0; i < n; ++i) acc += window[i] * taps_rev[i];
   return acc;
 }
 
+}  // namespace
+
+FirFilter::FirFilter(std::vector<float> taps)
+    : taps_(std::move(taps)), taps_rev_(taps_.rbegin(), taps_.rend()),
+      hist_(taps_.empty() ? 0 : taps_.size() - 1, 0.0f) {
+  if (taps_.empty()) throw std::invalid_argument("empty taps");
+}
+
+void FirFilter::reset() { std::fill(hist_.begin(), hist_.end(), 0.0f); }
+
+float FirFilter::process(float x) {
+  const std::size_t t = taps_.size();
+  work_.resize(t);
+  std::copy(hist_.begin(), hist_.end(), work_.begin());
+  work_[t - 1] = x;
+  const float y = fir_dot(work_.data(), taps_rev_.data(), t);
+  if (t > 1) {
+    std::copy(hist_.begin() + 1, hist_.end(), hist_.begin());
+    hist_.back() = x;
+  }
+  return y;
+}
+
 std::vector<float> FirFilter::process(std::span<const float> x) {
+  const std::size_t t = taps_.size();
+  const std::size_t h = t - 1;
   std::vector<float> out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  if (x.empty()) return out;
+  work_.resize(h + x.size());
+  std::copy(hist_.begin(), hist_.end(), work_.begin());
+  std::copy(x.begin(), x.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = fir_dot(work_.data() + i, taps_rev_.data(), t);
+  }
+  // Carry the last taps-1 inputs (work_ has h + n >= h entries).
+  std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(), hist_.begin());
+  return out;
+}
+
+std::vector<float> fir_reference(std::span<const float> taps, std::span<const float> x) {
+  std::vector<float> history(taps.size(), 0.0f);
+  std::size_t pos = 0;
+  std::vector<float> out(x.size());
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    history[pos] = x[n];
+    float acc = 0.0f;
+    std::size_t idx = pos;
+    for (float tap : taps) {
+      acc += tap * history[idx];
+      idx = idx == 0 ? history.size() - 1 : idx - 1;
+    }
+    pos = (pos + 1) % history.size();
+    out[n] = acc;
+  }
   return out;
 }
 

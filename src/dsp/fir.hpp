@@ -19,6 +19,14 @@ std::vector<float> design_bandpass(double lo_hz, double hi_hz, double sample_rat
                                    std::size_t taps, WindowType window = WindowType::kHamming);
 
 // Stateful FIR for streaming use.
+//
+// The block path lays the carried history and the new chunk out in one
+// contiguous window and runs a plain dot product per output — no per-tap
+// ring modulo — so the inner loop auto-vectorizes. The per-sample overload
+// shares the same dot-product (identical summation order), so any mix of
+// per-sample and block calls produces bit-identical output for the same
+// input stream. fir_reference() below is the pre-optimization ring-buffer
+// kernel, kept for equivalence tests and benchmarks.
 class FirFilter {
  public:
   explicit FirFilter(std::vector<float> taps);
@@ -35,9 +43,14 @@ class FirFilter {
   double magnitude_at(double f_hz, double sample_rate_hz) const;
 
  private:
-  std::vector<float> taps_;
-  std::vector<float> history_;  // circular
-  std::size_t pos_ = 0;
+  std::vector<float> taps_;      // design order, for taps()/magnitude_at
+  std::vector<float> taps_rev_;  // reversed: dot with an oldest-first window
+  std::vector<float> hist_;      // last taps-1 inputs, oldest first
+  std::vector<float> work_;      // contiguous [history | chunk] scratch
 };
+
+// Reference: filters `x` from zero initial state with the original
+// per-sample ring-buffer kernel. Used by tests/bench as the before-case.
+std::vector<float> fir_reference(std::span<const float> taps, std::span<const float> x);
 
 }  // namespace sonic::dsp

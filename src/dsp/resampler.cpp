@@ -40,9 +40,13 @@ std::vector<float> Resampler::process(std::span<const float> input) const {
   for (std::size_t i = 0; i < out_len; ++i) {
     const double src = static_cast<double>(i) / ratio_;
     const long center = static_cast<long>(std::floor(src));
+    // Clamp the kernel window to the input once, instead of bounds-checking
+    // every tap: the inner loop then runs branch-free over a contiguous
+    // range, which is what lets the compiler vectorize it.
+    const long lo = std::max<long>(center - reach_, 0);
+    const long hi = std::min<long>(center + reach_, static_cast<long>(input.size()) - 1);
     double acc = 0.0;
-    for (long k = center - reach_; k <= center + reach_; ++k) {
-      if (k < 0 || k >= static_cast<long>(input.size())) continue;
+    for (long k = lo; k <= hi; ++k) {
       acc += static_cast<double>(input[static_cast<std::size_t>(k)]) *
              kernel(src - static_cast<double>(k), cutoff_, half_width_);
     }
@@ -63,9 +67,13 @@ void Resampler::emit_ready(std::vector<float>& out, bool final_flush) {
       // Hold this output until its whole kernel window has been received.
       if (center + reach_ >= static_cast<long>(total_in_)) break;
     }
+    // Same clamped branch-free window as the batch path (the history vector
+    // is contiguous with absolute base hist_base_), keeping the two paths
+    // term-for-term identical.
+    const long lo = std::max<long>(center - reach_, 0);
+    const long hi = std::min<long>(center + reach_, static_cast<long>(total_in_) - 1);
     double acc = 0.0;
-    for (long k = center - reach_; k <= center + reach_; ++k) {
-      if (k < 0 || k >= static_cast<long>(total_in_)) continue;
+    for (long k = lo; k <= hi; ++k) {
       acc += static_cast<double>(hist_[static_cast<std::size_t>(k) - hist_base_]) *
              kernel(src - static_cast<double>(k), cutoff_, half_width_);
     }

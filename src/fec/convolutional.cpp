@@ -30,12 +30,15 @@ ConvolutionalCodec::ConvolutionalCodec(ConvSpec spec) : spec_(spec) {
   }
   num_states_ = 1 << (k_ - 1);
   branches_.resize(static_cast<std::size_t>(num_states_) << 1);
+  branch_sym_.resize(static_cast<std::size_t>(num_states_) << 1);
   for (int state = 0; state < num_states_; ++state) {
     for (int bit = 0; bit < 2; ++bit) {
       const std::uint32_t reg = (static_cast<std::uint32_t>(state) << 1) | static_cast<std::uint32_t>(bit);
       Branch& br = branches_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)];
       br.out0 = static_cast<std::uint8_t>(parity(reg & poly_a_));
       br.out1 = static_cast<std::uint8_t>(parity(reg & poly_b_));
+      branch_sym_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)] =
+          static_cast<std::uint8_t>(br.out0 * 2 + br.out1);
     }
   }
 }
@@ -98,14 +101,12 @@ util::Bytes ConvolutionalCodec::encode(std::span<const std::uint8_t> data) const
   return bw.take();
 }
 
-util::Bytes ConvolutionalCodec::decode_soft(std::span<const float> soft,
-                                            std::size_t payload_bytes) const {
-  const std::size_t in_bits = payload_bytes * 8 + static_cast<std::size_t>(k_ - 1);
-  const auto pat = puncture_pattern();
-
+void ConvolutionalCodec::depuncture(std::span<const float> soft, std::size_t in_bits,
+                                    std::vector<float>& pairs) const {
   // De-puncture into per-step (out0, out1) soft pairs; punctured positions
   // become 0.5 (no information).
-  std::vector<float> pairs(in_bits * 2, 0.5f);
+  const auto pat = puncture_pattern();
+  pairs.assign(in_bits * 2, 0.5f);
   std::size_t soft_idx = 0;
   for (std::size_t i = 0; i < in_bits * 2; ++i) {
     if (pat[i % pat.size()]) {
@@ -113,6 +114,96 @@ util::Bytes ConvolutionalCodec::decode_soft(std::span<const float> soft,
       ++soft_idx;
     }
   }
+}
+
+namespace {
+
+// Buffers for decode_soft, reused across calls. Thread-local rather than a
+// codec member so concurrent decodes on a shared codec stay safe.
+struct ViterbiWorkspace {
+  std::vector<float> pairs;
+  std::vector<float> metric;
+  std::vector<float> next_metric;
+  std::vector<std::uint64_t> survivors;  // in_bits * words_per_step packed bits
+  std::vector<std::uint8_t> bits;
+};
+
+}  // namespace
+
+util::Bytes ConvolutionalCodec::decode_soft(std::span<const float> soft,
+                                            std::size_t payload_bytes) const {
+  const std::size_t in_bits = payload_bytes * 8 + static_cast<std::size_t>(k_ - 1);
+  const std::size_t ns = static_cast<std::size_t>(num_states_);
+  const std::size_t half = ns / 2;
+
+  thread_local ViterbiWorkspace ws;
+  depuncture(soft, in_bits, ws.pairs);
+
+  constexpr float kInf = std::numeric_limits<float>::max() / 4;
+  ws.metric.assign(ns, kInf);
+  ws.next_metric.assign(ns, kInf);
+  ws.metric[0] = 0.0f;  // encoder starts in state 0
+
+  // Survivor bits packed 64 states per word: bit `next` of a step's words is
+  // the evicted MSB of the winning predecessor (0 = low predecessor
+  // next >> 1, 1 = high predecessor (next >> 1) + half).
+  const std::size_t words = (ns + 63) / 64;
+  ws.survivors.assign(in_bits * words, 0);
+
+  const std::uint8_t* bsym = branch_sym_.data();
+  for (std::size_t step = 0; step < in_bits; ++step) {
+    const float s0 = ws.pairs[step * 2];
+    const float s1 = ws.pairs[step * 2 + 1];
+    // The 4 possible branch metrics (L1 distance to expected output pair),
+    // hoisted out of the state loop.
+    const float d0 = std::fabs(s0);
+    const float d0c = std::fabs(s0 - 1.0f);
+    const float d1 = std::fabs(s1);
+    const float d1c = std::fabs(s1 - 1.0f);
+    const float bm[4] = {d0 + d1, d0 + d1c, d0c + d1, d0c + d1c};
+
+    const float* m = ws.metric.data();
+    float* nm = ws.next_metric.data();
+    std::uint64_t* surv = ws.survivors.data() + step * words;
+    // ACS butterfly over next states: next = (prev << 1 | bit) & mask, so
+    // next's two predecessors are next >> 1 and (next >> 1) + half, and
+    // their branch symbols sit at bsym[next] and bsym[next + ns]. No
+    // branches in the loop body — the select compiles to min/cmov and
+    // auto-vectorizes. Ties keep the low predecessor, matching the
+    // reference's first-writer-wins update.
+    for (std::size_t next = 0; next < ns; ++next) {
+      const std::size_t p0 = next >> 1;
+      const float m0 = m[p0] + bm[bsym[next]];
+      const float m1 = m[p0 + half] + bm[bsym[next + ns]];
+      const bool take_high = m1 < m0;
+      nm[next] = take_high ? m1 : m0;
+      surv[next / 64] |= static_cast<std::uint64_t>(take_high) << (next % 64);
+    }
+    ws.metric.swap(ws.next_metric);
+  }
+
+  // Traceback from state 0 (guaranteed by the K-1 flush bits).
+  std::uint32_t state = 0;
+  util::Bytes out(payload_bytes, 0);
+  ws.bits.resize(in_bits);
+  for (std::size_t step = in_bits; step-- > 0;) {
+    ws.bits[step] = static_cast<std::uint8_t>(state & 1);  // input bit that produced `state`
+    const std::uint64_t word = ws.survivors[step * words + state / 64];
+    const std::uint32_t evicted = static_cast<std::uint32_t>((word >> (state % 64)) & 1);
+    state = (state >> 1) | (evicted << (k_ - 2));
+  }
+
+  for (std::size_t i = 0; i < payload_bytes * 8; ++i) {
+    if (ws.bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+  }
+  return out;
+}
+
+util::Bytes ConvolutionalCodec::decode_soft_reference(std::span<const float> soft,
+                                                      std::size_t payload_bytes) const {
+  const std::size_t in_bits = payload_bytes * 8 + static_cast<std::size_t>(k_ - 1);
+  std::vector<float> pairs;
+  depuncture(soft, in_bits, pairs);
 
   constexpr float kInf = std::numeric_limits<float>::max() / 4;
   std::vector<float> metric(static_cast<std::size_t>(num_states_), kInf);
@@ -136,9 +227,13 @@ util::Bytes ConvolutionalCodec::decode_soft(std::span<const float> soft,
       if (base >= kInf) continue;
       for (int bit = 0; bit < 2; ++bit) {
         const Branch& br = branches_[(static_cast<std::size_t>(state) << 1) | static_cast<std::size_t>(bit)];
-        // Branch metric: L1 distance between expected and observed soft bits.
-        const float m = base + std::fabs(s0 - static_cast<float>(br.out0)) +
-                        std::fabs(s1 - static_cast<float>(br.out1));
+        // Branch metric: L1 distance between expected and observed soft
+        // bits, summed before adding to the path metric so the arithmetic
+        // (and therefore the decode) is bit-identical to the hot decoder's
+        // precomputed-metric form.
+        const float bm = std::fabs(s0 - static_cast<float>(br.out0)) +
+                         std::fabs(s1 - static_cast<float>(br.out1));
+        const float m = base + bm;
         const std::uint32_t ns = ((static_cast<std::uint32_t>(state) << 1) | static_cast<std::uint32_t>(bit)) & state_mask;
         if (m < next_metric[ns]) {
           next_metric[ns] = m;

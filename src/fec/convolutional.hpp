@@ -49,7 +49,15 @@ class ConvolutionalCodec {
   // must contain encoded_bits(payload_bytes) entries. Returns the decoded
   // bytes; the code is always decodable (it picks the best path), so
   // integrity must be checked by an outer CRC.
+  //
+  // The hot implementation precomputes the 4 possible branch metrics once
+  // per trellis step, runs the ACS butterfly branchlessly over next states,
+  // packs survivor bits into flat 64-bit words, and reuses all buffers
+  // across calls through a thread-local workspace. decode_soft_reference is
+  // the straightforward per-state scalar loop; both produce byte-identical
+  // output (ties break toward the lower predecessor state in each).
   util::Bytes decode_soft(std::span<const float> soft, std::size_t payload_bytes) const;
+  util::Bytes decode_soft_reference(std::span<const float> soft, std::size_t payload_bytes) const;
 
   // Convenience: hard-decision decode from packed bits.
   util::Bytes decode_hard(std::span<const std::uint8_t> packed_bits, std::size_t payload_bytes) const;
@@ -66,6 +74,7 @@ class ConvolutionalCodec {
 
   std::vector<int> puncture_pattern() const;  // 1 = keep, over output bit pairs
   void raw_encode_bits(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& out_bits) const;
+  void depuncture(std::span<const float> soft, std::size_t in_bits, std::vector<float>& pairs) const;
 
   ConvSpec spec_;
   int k_;                 // constraint length
@@ -73,6 +82,9 @@ class ConvolutionalCodec {
   std::uint32_t poly_b_;
   int num_states_;
   std::vector<Branch> branches_;  // [state << 1 | input_bit]
+  // branch_sym_[state << 1 | bit] = out0*2 + out1, indexing the 4 branch
+  // metrics precomputed per trellis step by the hot decoder.
+  std::vector<std::uint8_t> branch_sym_;
 };
 
 }  // namespace sonic::fec

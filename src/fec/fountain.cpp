@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <deque>
 #include <stdexcept>
 
@@ -21,10 +22,6 @@ constexpr std::uint32_t kMaxRepairSeq = 1u << 20;
 // GF(2^8) has 255 usable evaluation points here (0..254); MDS mode needs
 // at least one of them left over for repair symbols.
 constexpr std::size_t kMdsPointLimit = 254;
-
-void xor_into(util::Bytes& dst, std::span<const std::uint8_t> src) {
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-}
 
 FountainParams clamp_params(FountainParams p) {
   p.mds_max_k = std::min(p.mds_max_k, kMdsPointLimit);
@@ -71,6 +68,27 @@ std::size_t sample_degree(const std::vector<double>& cdf, double u) {
 }
 
 }  // namespace
+
+void xor_into(util::Bytes& dst, std::span<const std::uint8_t> src) {
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+  const std::size_t n = dst.size();
+  // memcpy-based uint64 loads/stores: well-defined at any alignment, and the
+  // compiler lowers the loop to full-width vector XORs.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, d + i, 8);
+    std::memcpy(&b, s + i, 8);
+    a ^= b;
+    std::memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
+}
+
+void xor_into_reference(util::Bytes& dst, std::span<const std::uint8_t> src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
 
 std::vector<std::uint32_t> fountain_neighbors(std::uint32_t page_id, std::uint32_t repair_seq,
                                               std::size_t k, const FountainParams& params) {

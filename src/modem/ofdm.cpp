@@ -46,6 +46,9 @@ OfdmModem::OfdmModem(OfdmProfile profile)
   const int n = profile_.num_subcarriers;
   if (profile_.first_bin() < 1 || profile_.first_bin() + n >= profile_.fft_size / 2)
     throw std::invalid_argument("subcarriers do not fit below Nyquist");
+  fft_plan_ = dsp::FftPlan::get(static_cast<std::size_t>(profile_.fft_size));
+  spec_.resize(static_cast<std::size_t>(profile_.fft_size));
+  carriers_.resize(static_cast<std::size_t>(n));
 
   // Preamble A: PRBS QPSK on even absolute FFT bins only -> time-domain
   // signal periodic with fft_size/2 (Schmidl&Cox detectable). sqrt(2)
@@ -77,6 +80,7 @@ OfdmModem::OfdmModem(OfdmProfile profile)
   template_a_ = tmpl;
   synth_symbol(preamble_b_, tmpl);
   template_b_ = tmpl;
+  for (float v : template_b_) template_b_energy_ += static_cast<double>(v) * v;
 }
 
 bool OfdmModem::is_pilot(int rel_idx) const {
@@ -103,36 +107,40 @@ std::size_t OfdmModem::burst_samples(std::size_t frame_len, std::size_t frame_co
 
 void OfdmModem::synth_symbol(std::span<const cplx> carriers, std::vector<float>& out) const {
   const int N = profile_.fft_size;
-  std::vector<dsp::cplx> spec(static_cast<std::size_t>(N), dsp::cplx(0, 0));
+  std::fill(spec_.begin(), spec_.end(), dsp::cplx(0, 0));
   for (int i = 0; i < profile_.num_subcarriers; ++i) {
     const int b = profile_.first_bin() + i;
     const cplx v = carriers[static_cast<std::size_t>(i)];
-    spec[static_cast<std::size_t>(b)] = v;
-    spec[static_cast<std::size_t>(N - b)] = std::conj(v);
+    spec_[static_cast<std::size_t>(b)] = v;
+    spec_[static_cast<std::size_t>(N - b)] = std::conj(v);
   }
-  dsp::ifft(spec);
+  fft_plan_->inverse(spec_);
   out.resize(static_cast<std::size_t>(N + profile_.cp_len));
   for (int i = 0; i < N; ++i) {
-    out[static_cast<std::size_t>(profile_.cp_len + i)] = spec[static_cast<std::size_t>(i)].real() * tx_gain_;
+    out[static_cast<std::size_t>(profile_.cp_len + i)] = spec_[static_cast<std::size_t>(i)].real() * tx_gain_;
   }
   for (int i = 0; i < profile_.cp_len; ++i) {
     out[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(N + i)];
   }
 }
 
-std::vector<cplx> OfdmModem::analyze_symbol(std::span<const float> samples, std::size_t pos) const {
+std::span<const cplx> OfdmModem::analyze_symbol(std::span<const float> samples, std::size_t pos) const {
   const int N = profile_.fft_size;
-  std::vector<dsp::cplx> spec(static_cast<std::size_t>(N), dsp::cplx(0, 0));
-  for (int i = 0; i < N; ++i) {
-    const std::size_t idx = pos + static_cast<std::size_t>(i);
-    spec[static_cast<std::size_t>(i)] = dsp::cplx(idx < samples.size() ? samples[idx] : 0.0f, 0.0f);
+  // Whole windows stay in range in steady state; the per-sample bound only
+  // matters for the final (truncated) window, so hoist it out of the loop.
+  const std::size_t avail = pos < samples.size() ? samples.size() - pos : 0;
+  const int in_range = static_cast<int>(std::min<std::size_t>(avail, static_cast<std::size_t>(N)));
+  const float* src = samples.data() + pos;
+  for (int i = 0; i < in_range; ++i) {
+    spec_[static_cast<std::size_t>(i)] = dsp::cplx(src[i], 0.0f);
   }
-  dsp::fft(spec);
-  std::vector<cplx> out(static_cast<std::size_t>(profile_.num_subcarriers));
+  for (int i = in_range; i < N; ++i) spec_[static_cast<std::size_t>(i)] = dsp::cplx(0, 0);
+  fft_plan_->forward(spec_);
+  const float inv_gain = 1.0f / tx_gain_;
   for (int i = 0; i < profile_.num_subcarriers; ++i) {
-    out[static_cast<std::size_t>(i)] = spec[static_cast<std::size_t>(profile_.first_bin() + i)] / tx_gain_;
+    carriers_[static_cast<std::size_t>(i)] = spec_[static_cast<std::size_t>(profile_.first_bin() + i)] * inv_gain;
   }
-  return out;
+  return carriers_;
 }
 
 std::vector<float> OfdmModem::modulate(const std::vector<util::Bytes>& frames) const {
@@ -264,8 +272,7 @@ std::optional<OfdmModem::Sync> OfdmModem::find_sync(std::span<const float> sampl
   // around the coarse estimate. Preamble B starts one symbol after A.
   const long search_lo = static_cast<long>(best_d) - 2L * profile_.cp_len;
   const long search_hi = static_cast<long>(best_d) + 2L * profile_.cp_len;
-  double tmpl_energy = 0;
-  for (float v : template_b_) tmpl_energy += static_cast<double>(v) * v;
+  const double tmpl_energy = template_b_energy_;
   double best_ncc = 0;
   long best_b_start = -1;
   for (long cand = search_lo; cand <= search_hi; ++cand) {
@@ -320,12 +327,14 @@ std::optional<RxBurst> OfdmModem::decode_burst(std::span<const float> samples, s
 
   // Channel estimate from preamble B.
   const auto yb = analyze_symbol(samples, body(1));
-  std::vector<cplx> h(static_cast<std::size_t>(n));
+  auto& h = h_;
+  h.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     h[static_cast<std::size_t>(i)] = yb[static_cast<std::size_t>(i)] / preamble_b_[static_cast<std::size_t>(i)];
   }
   // Smooth H across 3 neighbours and estimate noise from the residual.
-  std::vector<cplx> h_smooth(h.size());
+  auto& h_smooth = h_smooth_;
+  h_smooth.resize(h.size());
   for (int i = 0; i < n; ++i) {
     cplx acc(0, 0);
     int cnt = 0;
@@ -351,7 +360,8 @@ std::optional<RxBurst> OfdmModem::decode_burst(std::span<const float> samples, s
   float ema_noise = noise_var / std::max(sig_pow, 1e-9f);  // normalized post-eq noise
   auto demod_symbol = [&](std::size_t symbol_index, bool bpsk, std::vector<float>& soft_out) {
     const auto y = analyze_symbol(samples, body(symbol_index));
-    std::vector<cplx> eq(static_cast<std::size_t>(n));
+    auto& eq = eq_;
+    eq.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       eq[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)] / h_smooth[static_cast<std::size_t>(i)];
     }
@@ -415,7 +425,8 @@ std::optional<RxBurst> OfdmModem::decode_burst(std::span<const float> samples, s
   };
 
   // Header.
-  std::vector<float> header_soft;
+  auto& header_soft = header_soft_;
+  header_soft.clear();
   const std::size_t hdr_syms = header_symbols();
   if (body(2 + hdr_syms) > samples.size()) return std::nullopt;
   for (std::size_t s = 0; s < hdr_syms; ++s) demod_symbol(2 + s, true, header_soft);
@@ -438,7 +449,8 @@ std::optional<RxBurst> OfdmModem::decode_burst(std::span<const float> samples, s
 
   // Payload.
   const std::size_t nsym = payload_symbols(frame_len, frame_count);
-  std::vector<float> soft;
+  auto& soft = soft_;
+  soft.clear();
   soft.reserve(nsym * static_cast<std::size_t>(profile_.data_carriers() * qam_.bits_per_symbol()));
   for (std::size_t s = 0; s < nsym; ++s) {
     const std::size_t pos = body(2 + hdr_syms + s);

@@ -21,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "modem/packet.hpp"
 #include "modem/profile.hpp"
 #include "util/bytes.hpp"
@@ -50,6 +52,11 @@ struct RxBurst {
   double frame_loss_rate() const;
 };
 
+// Not safe for concurrent use of one instance: the per-symbol FFT and
+// demodulation paths run on reusable member scratch (allocation-free in
+// steady state — the feature-phone CPU budget, paper §5). Give each thread
+// its own OfdmModem; construction from the same profile is cheap because
+// the FFT plan itself is shared through dsp::FftPlan's cache.
 class OfdmModem {
  public:
   explicit OfdmModem(OfdmProfile profile);
@@ -80,7 +87,8 @@ class OfdmModem {
   std::size_t burst_samples(std::size_t frame_len, std::size_t frame_count) const;
 
  private:
-  friend class StreamReceiver;  // reuses the sync templates and profile
+  friend class StreamReceiver;   // reuses the sync templates and profile
+  friend struct OfdmKernelProbe;  // tests/bench: per-symbol kernel access
 
   struct Sync {
     std::size_t start;   // first sample of preamble A's cyclic prefix
@@ -93,10 +101,12 @@ class OfdmModem {
   std::size_t payload_symbols(std::size_t frame_len, std::size_t frame_count) const;
 
   // Synthesizes one OFDM symbol (CP + body) from per-subcarrier values
-  // indexed relative to first_bin; nullopt entries transmit silence.
+  // indexed relative to first_bin. `out` keeps its capacity across calls, so
+  // the steady-state path allocates nothing.
   void synth_symbol(std::span<const cplx> carriers, std::vector<float>& out) const;
-  // FFT of one symbol body at `pos`, returning used-bin values.
-  std::vector<cplx> analyze_symbol(std::span<const float> samples, std::size_t pos) const;
+  // FFT of one symbol body at `pos`; the returned span points into member
+  // scratch and is valid until the next analyze_symbol call.
+  std::span<const cplx> analyze_symbol(std::span<const float> samples, std::size_t pos) const;
 
   std::optional<Sync> find_sync(std::span<const float> samples, std::size_t from) const;
 
@@ -104,12 +114,39 @@ class OfdmModem {
   QamMapper qam_;
   PacketCodec payload_codec_;
   fec::ConvolutionalCodec header_codec_;
+  std::shared_ptr<const dsp::FftPlan> fft_plan_;
   std::vector<cplx> preamble_a_;  // per-used-bin values (zeros on odd bins)
   std::vector<cplx> preamble_b_;
   std::vector<cplx> pilots_;      // fixed pilot values (zero on data bins)
   std::vector<float> template_a_;  // time-domain preamble A (with CP)
   std::vector<float> template_b_;  // time-domain preamble B (with CP)
+  double template_b_energy_ = 0;   // sum of squares, hoisted out of find_sync
   float tx_gain_;
+
+  // Per-symbol and per-burst scratch, reused across calls (see the class
+  // comment on thread safety). spec_ holds the FFT-size working buffer,
+  // carriers_ the used-bin view analyze_symbol returns.
+  mutable std::vector<dsp::cplx> spec_;
+  mutable std::vector<cplx> carriers_;
+  // decode_burst working vectors (channel estimate, equalized bins, soft
+  // bits), cleared and refilled per burst instead of reallocated.
+  mutable std::vector<cplx> h_, h_smooth_, eq_;
+  mutable std::vector<float> header_soft_, soft_;
+};
+
+// Test/bench peephole into the private per-symbol kernels. The kernel tests
+// use it to verify the steady-state analyze/synthesize path performs no heap
+// allocation; bench/micro_dsp_fec uses it for the per-symbol before/after
+// cases.
+struct OfdmKernelProbe {
+  static std::span<const cplx> analyze(const OfdmModem& m, std::span<const float> samples,
+                                       std::size_t pos) {
+    return m.analyze_symbol(samples, pos);
+  }
+  static void synthesize(const OfdmModem& m, std::span<const cplx> carriers,
+                         std::vector<float>& out) {
+    m.synth_symbol(carriers, out);
+  }
 };
 
 }  // namespace sonic::modem
